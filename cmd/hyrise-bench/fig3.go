@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Figure 3 setup (paper §2.3): an aggregation accessing 25% of 1M integer
+// values, randomly chosen positions.
+const (
+	fig3N         = 1_000_000
+	fig3Positions = fig3N / 4
+	fig3Repeats   = 20
+)
+
+// fig3Specs are the encodings of the paper's figure.
+func fig3Specs() []encoding.Spec {
+	return []encoding.Spec{
+		{Encoding: encoding.FrameOfReference, Compression: encoding.FixedSizeByteAligned},
+		{Encoding: encoding.FrameOfReference, Compression: encoding.BitPacked128},
+		{Encoding: encoding.RunLength},
+		{Encoding: encoding.Dictionary, Compression: encoding.FixedSizeByteAligned},
+		{Encoding: encoding.Dictionary, Compression: encoding.BitPacked128},
+	}
+}
+
+func fig3Data() ([]int64, []types.ChunkOffset) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, fig3N)
+	for i := range vals {
+		// Runs of ~64 equal values over a ~16k-value domain: run-length,
+		// dictionary, and frame-of-reference all have realistic structure.
+		vals[i] = int64(i / 64)
+	}
+	pos := make([]types.ChunkOffset, fig3Positions)
+	for i := range pos {
+		pos[i] = types.ChunkOffset(rng.Intn(fig3N))
+	}
+	return vals, pos
+}
+
+func encodeFig3(vals []int64, spec encoding.Spec) storage.Segment {
+	vs := storage.ValueSegmentFromSlice(vals, nil)
+	seg, err := encoding.EncodeSegment(vs, spec)
+	if err != nil {
+		panic(err)
+	}
+	return seg
+}
+
+// sumFull is the "full materialization" path: decode the whole vector
+// upfront, then gather the requested positions.
+func sumFull(seg storage.Segment, pos []types.ChunkOffset) int64 {
+	full, _ := encoding.Materialize[int64](seg)
+	var sum int64
+	for _, p := range pos {
+		sum += full[p]
+	}
+	return sum
+}
+
+// sumPositional uses random access iterators (static path).
+func sumPositional(seg storage.Segment, pos []types.ChunkOffset) int64 {
+	vals, _ := encoding.MaterializePositions[int64](seg, pos)
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// sumDynamic uses one virtual call per value (dynamic polymorphism).
+func sumDynamic(seg storage.Segment, pos []types.ChunkOffset) int64 {
+	vals, _ := encoding.MaterializeDynamic[int64](seg, pos)
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+func timeIt(f func() int64) (time.Duration, int64) {
+	var sum int64
+	start := time.Now()
+	for r := 0; r < fig3Repeats; r++ {
+		sum = f()
+	}
+	return time.Since(start) / fig3Repeats, sum
+}
+
+func runFig3a() {
+	fmt.Println("== Figure 3a: full vs positional materialization")
+	fmt.Printf("   (aggregation over %d random positions of %d int values, avg of %d runs)\n",
+		fig3Positions, fig3N, fig3Repeats)
+	vals, pos := fig3Data()
+	fmt.Printf("%-28s %14s %14s %9s\n", "encoding", "full (ms)", "positional(ms)", "speedup")
+	for _, spec := range fig3Specs() {
+		seg := encodeFig3(vals, spec)
+		fullTime, s1 := timeIt(func() int64 { return sumFull(seg, pos) })
+		posTime, s2 := timeIt(func() int64 { return sumPositional(seg, pos) })
+		if s1 != s2 {
+			panic("fig3a: checksum mismatch")
+		}
+		fmt.Printf("%-28s %14.3f %14.3f %8.2fx\n", spec,
+			float64(fullTime.Microseconds())/1000,
+			float64(posTime.Microseconds())/1000,
+			float64(fullTime)/float64(posTime))
+	}
+	fmt.Println()
+}
+
+func runFig3b() {
+	fmt.Println("== Figure 3b: static vs dynamic polymorphism")
+	fmt.Printf("   (same access pattern; static = resolved generic accessors, dynamic = interface call per value)\n")
+	vals, pos := fig3Data()
+	fmt.Printf("%-28s %14s %14s %9s\n", "encoding", "dynamic (ms)", "static (ms)", "speedup")
+	specs := append([]encoding.Spec{{Encoding: encoding.Unencoded}}, fig3Specs()...)
+	for _, spec := range specs {
+		seg := encodeFig3(vals, spec)
+		dynTime, s1 := timeIt(func() int64 { return sumDynamic(seg, pos) })
+		statTime, s2 := timeIt(func() int64 { return sumPositional(seg, pos) })
+		if s1 != s2 {
+			panic("fig3b: checksum mismatch")
+		}
+		fmt.Printf("%-28s %14.3f %14.3f %8.2fx\n", spec,
+			float64(dynTime.Microseconds())/1000,
+			float64(statTime.Microseconds())/1000,
+			float64(dynTime)/float64(statTime))
+	}
+	fmt.Println()
+}

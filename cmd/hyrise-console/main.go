@@ -1,0 +1,172 @@
+// Command hyrise-console is the interactive command line interface
+// (paper §2.1): it submits queries and offers convenience functions for
+// generating TPC-H tables, visualizing query plans, and toggling optional
+// components.
+//
+// Meta commands:
+//
+//	\help                 show this help
+//	\generate tpch <sf>   generate TPC-H tables at a scale factor
+//	\tables               list tables
+//	\visualize <sql>      print the unoptimized/optimized LQP and the PQP
+//	\timing on|off        print per-stage timings after each query
+//	\plugins              list available and loaded plugins
+//	\load <plugin>        load a plugin
+//	\unload <plugin>      unload a plugin
+//	\q                    quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyrise/internal/pipeline"
+	"hyrise/internal/plugin"
+	"hyrise/internal/tpch"
+)
+
+func main() {
+	cfg := pipeline.DefaultConfig()
+	engine := pipeline.NewEngine(cfg, nil)
+	defer engine.Close()
+	session := engine.NewSession()
+	plugins := plugin.NewManager(engine)
+	defer plugins.UnloadAll()
+
+	timing := false
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+
+	fmt.Println("Hyrise-Go console. \\help for help, \\q to quit.")
+	for {
+		fmt.Print("hyrise> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if quit := metaCommand(line, engine, plugins, &timing); quit {
+				return
+			}
+			continue
+		}
+		results, err := session.Execute(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		for _, res := range results {
+			printResult(res, timing)
+		}
+	}
+}
+
+func metaCommand(line string, engine *pipeline.Engine, plugins *plugin.Manager, timing *bool) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit", "\\exit":
+		return true
+	case "\\help":
+		fmt.Println(`\generate tpch <sf>, \tables, \visualize <sql>, \timing on|off,
+\plugins, \load <name>, \unload <name>, \q`)
+	case "\\tables":
+		for _, name := range engine.StorageManager().TableNames() {
+			t, _ := engine.StorageManager().GetTable(name)
+			fmt.Printf("  %-12s %10d rows, %d chunks\n", name, t.RowCount(), t.ChunkCount())
+		}
+	case "\\generate":
+		if len(fields) < 3 || fields[1] != "tpch" {
+			fmt.Println("usage: \\generate tpch <scale factor>")
+			break
+		}
+		sf, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			fmt.Println("bad scale factor:", fields[2])
+			break
+		}
+		fmt.Printf("generating TPC-H at scale factor %g...\n", sf)
+		if err := tpch.Generate(engine.StorageManager(), tpch.Config{ScaleFactor: sf, UseMvcc: engine.Config().UseMvcc, Seed: 42}); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if err := tpch.EncodeAndFilter(engine.StorageManager(), tpch.DefaultEncoding()); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("done.")
+	case "\\visualize":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\visualize"))
+		if sql == "" {
+			fmt.Println("usage: \\visualize <sql>")
+			break
+		}
+		unopt, opt, pqp, err := engine.Plans(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("-- unoptimized LQP:")
+		fmt.Print(unopt)
+		fmt.Println("-- optimized LQP:")
+		fmt.Print(opt)
+		fmt.Println("-- PQP:")
+		fmt.Print(pqp)
+	case "\\timing":
+		*timing = len(fields) > 1 && fields[1] == "on"
+		fmt.Println("timing:", *timing)
+	case "\\plugins":
+		fmt.Println("available:", strings.Join(plugin.Available(), ", "))
+		fmt.Println("loaded:   ", strings.Join(plugins.Loaded(), ", "))
+	case "\\load":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\load <plugin>")
+			break
+		}
+		if err := plugins.Load(fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("loaded", fields[1])
+		}
+	case "\\unload":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\unload <plugin>")
+			break
+		}
+		if err := plugins.Unload(fields[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("unloaded", fields[1])
+		}
+	default:
+		fmt.Println("unknown command; \\help for help")
+	}
+	return false
+}
+
+func printResult(res *pipeline.Result, timing bool) {
+	if res.Table != nil && len(res.Columns) > 0 {
+		rows := pipeline.RowStrings(res.Table)
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for i, row := range rows {
+			if i >= 50 {
+				fmt.Printf("... (%d rows total)\n", len(rows))
+				break
+			}
+			fmt.Println(strings.Join(row, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(rows))
+	} else {
+		fmt.Println(res.Tag)
+	}
+	if timing {
+		t := res.Timing
+		fmt.Printf("timing: parse=%v translate=%v optimize=%v pqp=%v execute=%v cache_hit=%v\n",
+			t.Parse, t.Translate, t.Optimize, t.ToPQP, t.Execute, t.CacheHit)
+	}
+}

@@ -1,0 +1,55 @@
+// Command hyrise-server starts the PostgreSQL-wire-protocol server
+// (paper §2.5). Connect with psql:
+//
+//	hyrise-server -addr 127.0.0.1:5433 -tpch 0.01
+//	psql -h 127.0.0.1 -p 5433 -U hyrise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyrise/internal/pipeline"
+	"hyrise/internal/server"
+	"hyrise/internal/tpch"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:5433", "listen address")
+		tpchSF    = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = none)")
+		scheduler = flag.Bool("scheduler", false, "enable the node-queue scheduler")
+	)
+	flag.Parse()
+
+	cfg := pipeline.DefaultConfig()
+	cfg.UseScheduler = *scheduler
+	engine := pipeline.NewEngine(cfg, nil)
+	defer engine.Close()
+
+	if *tpchSF > 0 {
+		fmt.Fprintf(os.Stderr, "loading TPC-H at scale factor %g...\n", *tpchSF)
+		if err := tpch.Generate(engine.StorageManager(), tpch.Config{ScaleFactor: *tpchSF, UseMvcc: cfg.UseMvcc, Seed: 42}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := tpch.EncodeAndFilter(engine.StorageManager(), tpch.DefaultEncoding()); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := server.New(engine)
+	actual, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hyrise-server listening on %s (PostgreSQL wire protocol)\n", actual)
+	fmt.Fprintf(os.Stderr, "connect with: psql -h %s\n", actual)
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

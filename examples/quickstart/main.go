@@ -1,0 +1,90 @@
+// Quickstart: create a table, insert rows, and query it through the public
+// API — the smallest end-to-end use of the engine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hyrise"
+)
+
+func main() {
+	db := hyrise.Open(hyrise.DefaultConfig())
+	defer db.Close()
+
+	mustExec(db, `CREATE TABLE cities (
+		name VARCHAR(32) NOT NULL,
+		country VARCHAR(32) NOT NULL,
+		population INT NOT NULL,
+		area FLOAT NOT NULL)`)
+
+	mustExec(db, `INSERT INTO cities VALUES
+		('Berlin',   'Germany', 3664088, 891.7),
+		('Hamburg',  'Germany', 1852478, 755.2),
+		('Munich',   'Germany', 1488202, 310.7),
+		('Potsdam',  'Germany',  182112, 188.6),
+		('Vienna',   'Austria', 1920949, 414.8),
+		('Graz',     'Austria',  291134, 127.6),
+		('Zurich',   'Switzerland', 421878, 87.9)`)
+
+	fmt.Println("== all cities above one million inhabitants, densest first")
+	res, err := db.Query(`
+		SELECT name, country, population / area AS density
+		FROM cities
+		WHERE population > 1000000
+		ORDER BY density DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+
+	fmt.Println("\n== population per country")
+	res, err = db.Query(`
+		SELECT country, count(*) AS cities, sum(population) AS total
+		FROM cities
+		GROUP BY country
+		ORDER BY total DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+
+	fmt.Println("\n== updates run as MVCC transactions")
+	mustExec(db, `UPDATE cities SET population = population + 1000 WHERE name = 'Potsdam'`)
+	res, err = db.Query(`SELECT population FROM cities WHERE name = 'Potsdam'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+
+	fmt.Println("\n== every intermediary plan can be inspected (paper §2.6)")
+	unopt, opt, pqp, err := db.Plans(`SELECT name FROM cities WHERE country = 'Austria' AND population > 400000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unoptimized LQP:")
+	fmt.Print(indent(unopt))
+	fmt.Println("optimized LQP:")
+	fmt.Print(indent(opt))
+	fmt.Println("physical plan:")
+	fmt.Print(indent(pqp))
+}
+
+func mustExec(db *hyrise.Database, sql string) {
+	if _, err := db.Execute(sql); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printResult(res *hyrise.Result) {
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range hyrise.Rows(res) {
+		fmt.Println(strings.Join(row, " | "))
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
+}

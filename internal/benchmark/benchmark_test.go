@@ -1,0 +1,176 @@
+package benchmark
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyrise/internal/pipeline"
+)
+
+func testEngine(t *testing.T) *pipeline.Engine {
+	t.Helper()
+	e := pipeline.NewEngine(pipeline.DefaultConfig(), nil)
+	t.Cleanup(e.Close)
+	s := e.NewSession()
+	if _, err := s.ExecuteOne("CREATE TABLE b (v INT NOT NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecuteOne("INSERT INTO b VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunCollectsTimings(t *testing.T) {
+	e := testEngine(t)
+	items := []Item{
+		{Name: "count", SQL: "SELECT count(*) FROM b"},
+		{Name: "sum", SQL: "SELECT sum(v) FROM b"},
+	}
+	res := Run("test", e, items, Options{Warmup: 1, Runs: 3}, map[string]string{"custom": "x"})
+	if res.Benchmark != "test" || len(res.Queries) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, q := range res.Queries {
+		if q.Error != "" {
+			t.Errorf("%s: %s", q.Name, q.Error)
+		}
+		if q.Runs != 3 || q.Rows != 1 {
+			t.Errorf("%s: runs=%d rows=%d", q.Name, q.Runs, q.Rows)
+		}
+		if q.AvgMillis <= 0 || q.MinMillis > q.MaxMillis {
+			t.Errorf("%s: timing stats wrong: %+v", q.Name, q)
+		}
+	}
+	if res.TotalQPS <= 0 {
+		t.Error("TotalQPS missing")
+	}
+	// Context carries the reproducibility parameters.
+	for _, key := range []string{"go_version", "optimizer", "scheduler", "workers", "custom", "git_commit"} {
+		if res.Context[key] == "" {
+			t.Errorf("context key %q missing", key)
+		}
+	}
+}
+
+func TestRunReportsQueryErrors(t *testing.T) {
+	e := testEngine(t)
+	res := Run("bad", e, []Item{{Name: "bad", SQL: "SELECT nope FROM b"}}, Options{Runs: 2}, nil)
+	if res.Queries[0].Error == "" {
+		t.Error("query error not captured")
+	}
+	if res.Queries[0].Runs != 0 {
+		t.Errorf("failed query should have 0 measured runs, got %d", res.Queries[0].Runs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	e := testEngine(t)
+	res := Run("json", e, []Item{{Name: "q", SQL: "SELECT 1"}}, Options{Runs: 1}, nil)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed RunResult
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if parsed.Benchmark != "json" || len(parsed.Queries) != 1 {
+		t.Errorf("round trip = %+v", parsed)
+	}
+}
+
+func TestLoadCustomBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("sales.schema", "region:string\namount:float\nyear:int\nnote:string:null\n")
+	write("sales.csv", "north,10.5,2020,\nsouth,20.25,2020,fine\nnorth,5.0,2021,ok\n")
+	write("01_total.sql", "SELECT region, sum(amount) FROM sales GROUP BY region ORDER BY region")
+	write("02_recent.sql", "SELECT count(*) FROM sales WHERE year = 2021")
+
+	e := pipeline.NewEngine(pipeline.DefaultConfig(), nil)
+	t.Cleanup(e.Close)
+	items, err := LoadCustomBenchmark(dir, e, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].Name != "01_total" {
+		t.Fatalf("items = %+v", items)
+	}
+	res := Run("custom", e, items, Options{Runs: 1}, nil)
+	for _, q := range res.Queries {
+		if q.Error != "" {
+			t.Errorf("%s failed: %s", q.Name, q.Error)
+		}
+	}
+	if res.Queries[0].Rows != 2 {
+		t.Errorf("group query rows = %d, want 2", res.Queries[0].Rows)
+	}
+	if res.Queries[1].Rows != 1 {
+		t.Errorf("count query rows = %d", res.Queries[1].Rows)
+	}
+	// NULL loading worked.
+	s := e.NewSession()
+	out, err := s.ExecuteOne("SELECT count(*) FROM sales WHERE note IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := pipeline.RowStrings(out.Table); rows[0][0] != "1" {
+		t.Errorf("null note count = %v", rows)
+	}
+}
+
+func TestLoadCustomBenchmarkErrors(t *testing.T) {
+	e := pipeline.NewEngine(pipeline.DefaultConfig(), nil)
+	t.Cleanup(e.Close)
+
+	empty := t.TempDir()
+	if _, err := LoadCustomBenchmark(empty, e, 100); err == nil {
+		t.Error("empty dir should fail (no .sql files)")
+	}
+
+	missingSchema := t.TempDir()
+	_ = os.WriteFile(filepath.Join(missingSchema, "t.csv"), []byte("1\n"), 0o644)
+	_ = os.WriteFile(filepath.Join(missingSchema, "q.sql"), []byte("SELECT 1"), 0o644)
+	if _, err := LoadCustomBenchmark(missingSchema, e, 100); err == nil {
+		t.Error("csv without schema should fail")
+	}
+
+	badSchema := t.TempDir()
+	_ = os.WriteFile(filepath.Join(badSchema, "t.schema"), []byte("a:blob\n"), 0o644)
+	_ = os.WriteFile(filepath.Join(badSchema, "t.csv"), []byte("1\n"), 0o644)
+	_ = os.WriteFile(filepath.Join(badSchema, "q.sql"), []byte("SELECT 1"), 0o644)
+	if _, err := LoadCustomBenchmark(badSchema, e, 100); err == nil {
+		t.Error("unknown type should fail")
+	}
+}
+
+func TestReadSchemaParsing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.schema")
+	content := strings.Join([]string{
+		"# comment line",
+		"",
+		"id:int",
+		"price:decimal",
+		"name:varchar:null",
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defs, err := readSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 3 || defs[0].Name != "id" || !defs[2].Nullable || defs[2].Name != "name" {
+		t.Errorf("defs = %+v", defs)
+	}
+}

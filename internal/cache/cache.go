@@ -1,0 +1,98 @@
+// Package cache provides the bounded LRU cache backing Hyrise's query plan
+// cache (paper §2.6: "the query plan cache is limited and automatic
+// eviction takes place"; prepared statements and implicitly cached queries
+// share the same structure).
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a thread-safe least-recently-used cache.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+
+	hits, misses int64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU creates a cache; capacity <= 0 disables storage entirely.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value and refreshes its recency.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	if c.capacity <= 0 {
+		c.misses++
+		return zero, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put stores a value, evicting the least recently used entry when full.
+func (c *LRU[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		if last != nil {
+			c.ll.Remove(last)
+			delete(c.items, last.Value.(*entry[K, V]).key)
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Clear drops all entries.
+func (c *LRU[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll = list.New()
+	c.items = make(map[K]*list.Element)
+}
+
+// Stats returns hit/miss counters.
+func (c *LRU[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache should miss")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should be evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a should survive, got %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Errorf("c missing: %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("update failed: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after duplicate put", c.Len())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache must store nothing")
+	}
+	if c.Len() != 0 {
+		t.Error("Len should be 0")
+	}
+}
+
+func TestLRUStatsAndClear(t *testing.T) {
+	c := NewLRU[string, int](4)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("nope")
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("Clear failed")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("cleared entry still present")
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := NewLRU[int, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Put(i%100, i)
+				c.Get((i + w) % 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestLRUEvictionOrderProperty(t *testing.T) {
+	const cap = 8
+	c := NewLRU[int, string](cap)
+	for i := 0; i < 100; i++ {
+		c.Put(i, fmt.Sprint(i))
+	}
+	// Only the last `cap` keys survive.
+	for i := 0; i < 100-cap; i++ {
+		if _, ok := c.Get(i); ok {
+			t.Fatalf("key %d should be evicted", i)
+		}
+	}
+	for i := 100 - cap; i < 100; i++ {
+		if _, ok := c.Get(i); !ok {
+			t.Fatalf("key %d should be cached", i)
+		}
+	}
+}

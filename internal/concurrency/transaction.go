@@ -1,0 +1,234 @@
+// Package concurrency implements Hyrise's multi-version concurrency control
+// (paper §2.8): transactions carry a begin commit id (their snapshot) and
+// receive an end commit id when they commit; updates are insert-only with
+// invalidations; write-write conflicts are detected by atomically claiming a
+// row's transaction id — if two transactions try to set the transaction id
+// of a single row, only one succeeds and the other has to abort.
+package concurrency
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// ErrConflict is returned when a transaction loses a write-write race and
+// must abort.
+var ErrConflict = errors.New("transaction conflict")
+
+// Phase is a transaction's lifecycle state.
+type Phase uint8
+
+// Transaction phases.
+const (
+	Active Phase = iota
+	Committed
+	RolledBack
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case Active:
+		return "Active"
+	case Committed:
+		return "Committed"
+	case RolledBack:
+		return "RolledBack"
+	default:
+		return "?"
+	}
+}
+
+// TransactionManager hands out transaction ids and serializes commit-id
+// assignment.
+type TransactionManager struct {
+	nextTID atomic.Uint64
+	lastCID atomic.Uint64
+	// commitMu serializes the commit critical section: assign the commit
+	// id, stamp all row versions, then publish the new last commit id.
+	// Readers that start mid-commit still see the previous snapshot.
+	commitMu sync.Mutex
+}
+
+// NewTransactionManager creates a manager; commit id 0 is "the beginning of
+// time" (bulk-loaded rows are stamped with it and visible to everyone).
+func NewTransactionManager() *TransactionManager {
+	return &TransactionManager{}
+}
+
+// LastCommitID returns the most recently published commit id.
+func (tm *TransactionManager) LastCommitID() types.CommitID {
+	return types.CommitID(tm.lastCID.Load())
+}
+
+// New starts a transaction with a fresh id and the current snapshot.
+func (tm *TransactionManager) New() *TransactionContext {
+	return &TransactionContext{
+		tm:       tm,
+		tid:      types.TransactionID(tm.nextTID.Add(1)),
+		snapshot: tm.LastCommitID(),
+		phase:    Active,
+	}
+}
+
+type rowRef struct {
+	chunk *storage.Chunk
+	row   types.ChunkOffset
+}
+
+// TransactionContext is the per-transaction state threaded through the
+// operators (paper Figure 1: operators receive the transaction context to
+// validate and stamp rows).
+type TransactionContext struct {
+	tm       *TransactionManager
+	tid      types.TransactionID
+	snapshot types.CommitID
+	phase    Phase
+
+	mu            sync.Mutex
+	inserts       []rowRef
+	invalidations []rowRef
+}
+
+// TID returns the transaction id.
+func (tc *TransactionContext) TID() types.TransactionID { return tc.tid }
+
+// Snapshot returns the commit id this transaction reads as of.
+func (tc *TransactionContext) Snapshot() types.CommitID { return tc.snapshot }
+
+// Phase returns the lifecycle phase.
+func (tc *TransactionContext) Phase() Phase {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.phase
+}
+
+// RegisterInsert records a freshly appended row: its TID is stamped so the
+// row is visible to this transaction only, until commit assigns the begin
+// commit id.
+func (tc *TransactionContext) RegisterInsert(chunk *storage.Chunk, row types.ChunkOffset) {
+	mvcc := chunk.MvccData()
+	mvcc.SetTID(row, tc.tid)
+	tc.mu.Lock()
+	tc.inserts = append(tc.inserts, rowRef{chunk, row})
+	tc.mu.Unlock()
+}
+
+// TryInvalidate claims a visible row for deletion. It fails with
+// ErrConflict when another transaction holds or has already invalidated the
+// row.
+func (tc *TransactionContext) TryInvalidate(chunk *storage.Chunk, row types.ChunkOffset) error {
+	mvcc := chunk.MvccData()
+	if mvcc == nil {
+		return fmt.Errorf("concurrency: table has no MVCC data")
+	}
+	ownRow := mvcc.TID(row) == tc.tid && mvcc.Begin(row) == types.MaxCommitID
+	if ownRow {
+		// Deleting a row this transaction inserted: hide it immediately —
+		// no other transaction can see it anyway.
+		mvcc.SetEnd(row, 0)
+		return nil
+	}
+	if !mvcc.ClaimTID(row, tc.tid) {
+		return fmt.Errorf("%w: row held by transaction %d", ErrConflict, mvcc.TID(row))
+	}
+	// Re-check visibility after the claim: a committed delete may have
+	// slipped in between validation and the claim.
+	if mvcc.End(row) != types.MaxCommitID {
+		mvcc.ReleaseTID(row, tc.tid)
+		return fmt.Errorf("%w: row already invalidated", ErrConflict)
+	}
+	tc.mu.Lock()
+	tc.invalidations = append(tc.invalidations, rowRef{chunk, row})
+	tc.mu.Unlock()
+	return nil
+}
+
+// Commit stamps all registered rows with a fresh commit id and publishes
+// it. After Commit the transaction is immutable.
+func (tc *TransactionContext) Commit() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.phase != Active {
+		return fmt.Errorf("concurrency: commit in phase %s", tc.phase)
+	}
+	tc.tm.commitMu.Lock()
+	cid := types.CommitID(tc.tm.lastCID.Load() + 1)
+	for _, r := range tc.inserts {
+		mvcc := r.chunk.MvccData()
+		mvcc.SetBegin(r.row, cid)
+		mvcc.ReleaseTID(r.row, tc.tid)
+	}
+	for _, r := range tc.invalidations {
+		mvcc := r.chunk.MvccData()
+		mvcc.SetEnd(r.row, cid)
+		mvcc.ReleaseTID(r.row, tc.tid)
+	}
+	tc.tm.lastCID.Store(uint64(cid))
+	tc.tm.commitMu.Unlock()
+	tc.phase = Committed
+	return nil
+}
+
+// Rollback undoes all registered changes: inserted rows are hidden forever,
+// claimed rows are released.
+func (tc *TransactionContext) Rollback() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.phase != Active {
+		return
+	}
+	for _, r := range tc.inserts {
+		mvcc := r.chunk.MvccData()
+		mvcc.SetEnd(r.row, 0) // begin stays MaxCommitID: never visible
+		mvcc.ReleaseTID(r.row, tc.tid)
+	}
+	for _, r := range tc.invalidations {
+		r.chunk.MvccData().ReleaseTID(r.row, tc.tid)
+	}
+	tc.phase = RolledBack
+}
+
+// Visible reports whether a row version is visible to the transaction
+// (the Validate operator's core test, paper §2.8).
+func Visible(mvcc *storage.MvccData, row types.ChunkOffset, tid types.TransactionID, snapshot types.CommitID) bool {
+	if mvcc.TID(row) == tid && tid != 0 {
+		// Rows this transaction touched: own inserts are visible unless
+		// self-deleted; own pending deletes of committed rows are hidden.
+		if mvcc.Begin(row) == types.MaxCommitID {
+			return mvcc.End(row) == types.MaxCommitID
+		}
+		return false
+	}
+	begin := mvcc.Begin(row)
+	end := mvcc.End(row)
+	return begin <= snapshot && end > snapshot
+}
+
+// MarkRowCommitted stamps a row as committed "at the beginning of time"
+// (begin commit id 0). Bulk loaders use this for rows created outside any
+// transaction.
+func MarkRowCommitted(chunk *storage.Chunk, row types.ChunkOffset) {
+	if mvcc := chunk.MvccData(); mvcc != nil {
+		mvcc.SetBegin(row, 0)
+	}
+}
+
+// MarkTableLoaded stamps every existing row of a table as committed at
+// commit id 0 (bulk-load path).
+func MarkTableLoaded(t *storage.Table) {
+	for _, c := range t.Chunks() {
+		mvcc := c.MvccData()
+		if mvcc == nil {
+			continue
+		}
+		for row := 0; row < c.Size(); row++ {
+			mvcc.SetBegin(types.ChunkOffset(row), 0)
+		}
+	}
+}

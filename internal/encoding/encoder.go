@@ -1,0 +1,152 @@
+package encoding
+
+import (
+	"fmt"
+
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// EncodingType selects the logical encoding scheme of a segment.
+type EncodingType uint8
+
+const (
+	// Unencoded leaves the plain value segment in place.
+	Unencoded EncodingType = iota
+	// Dictionary applies order-preserving dictionary encoding.
+	Dictionary
+	// RunLength applies run-length encoding.
+	RunLength
+	// FrameOfReference applies frame-of-reference encoding (int64 only;
+	// other types fall back to Dictionary).
+	FrameOfReference
+)
+
+// String names the encoding like the paper does.
+func (e EncodingType) String() string {
+	switch e {
+	case Unencoded:
+		return "Unencoded"
+	case Dictionary:
+		return "Dictionary"
+	case RunLength:
+		return "RunLength"
+	case FrameOfReference:
+		return "FrameOfReference"
+	default:
+		return "?"
+	}
+}
+
+// ParseEncodingType parses a command-line encoding name.
+func ParseEncodingType(s string) (EncodingType, error) {
+	switch s {
+	case "Unencoded", "unencoded", "none":
+		return Unencoded, nil
+	case "Dictionary", "dictionary", "dict":
+		return Dictionary, nil
+	case "RunLength", "runlength", "rle":
+		return RunLength, nil
+	case "FrameOfReference", "frameofreference", "for":
+		return FrameOfReference, nil
+	default:
+		return Unencoded, fmt.Errorf("encoding: unknown encoding type %q", s)
+	}
+}
+
+// Spec combines a logical scheme with a physical scheme. The two compose
+// freely (paper §2.3: "logical and physical encoding schemes can be
+// arbitrarily combined").
+type Spec struct {
+	Encoding    EncodingType
+	Compression VectorCompressionType
+}
+
+// String renders the spec like the paper's figure labels, e.g.
+// "Dictionary (FSBA)".
+func (s Spec) String() string {
+	if s.Encoding == Unencoded || s.Encoding == RunLength {
+		return s.Encoding.String()
+	}
+	return fmt.Sprintf("%s (%s)", s.Encoding, s.Compression)
+}
+
+// EncodeSegment encodes the values of a segment with the given spec and
+// returns the new segment. Unencoded returns the input unchanged.
+// FrameOfReference on non-integer columns falls back to Dictionary.
+func EncodeSegment(seg storage.Segment, spec Spec) (storage.Segment, error) {
+	if spec.Encoding == Unencoded {
+		return seg, nil
+	}
+	switch s := seg.(type) {
+	case *storage.ValueSegment[int64]:
+		return encodeTyped(s.Values(), s.Nulls(), spec), nil
+	case *storage.ValueSegment[float64]:
+		return encodeTyped(s.Values(), s.Nulls(), spec), nil
+	case *storage.ValueSegment[string]:
+		return encodeTyped(s.Values(), s.Nulls(), spec), nil
+	default:
+		return nil, fmt.Errorf("encoding: cannot encode segment of type %T (re-encoding not supported)", seg)
+	}
+}
+
+func encodeTyped[T types.Ordered](values []T, nulls []bool, spec Spec) storage.Segment {
+	switch spec.Encoding {
+	case RunLength:
+		return EncodeRunLength(values, nulls)
+	case FrameOfReference:
+		if ints, ok := any(values).([]int64); ok {
+			return EncodeFrameOfReference(ints, nulls, spec.Compression)
+		}
+		return EncodeDictionary(values, nulls, spec.Compression)
+	default:
+		return EncodeDictionary(values, nulls, spec.Compression)
+	}
+}
+
+// EncodeChunk encodes every segment of an immutable chunk in place.
+// Per-column specs override the default spec; a nil map encodes everything
+// with the default (paper §2.2: "Some segments of a chunk might stay
+// unencoded, others dictionary-encoded, and further segments run
+// length-encoded").
+func EncodeChunk(c *storage.Chunk, def Spec, perColumn map[types.ColumnID]Spec) error {
+	if !c.IsImmutable() {
+		return fmt.Errorf("encoding: chunk must be immutable before encoding")
+	}
+	for col := 0; col < c.ColumnCount(); col++ {
+		id := types.ColumnID(col)
+		spec := def
+		if perColumn != nil {
+			if s, ok := perColumn[id]; ok {
+				spec = s
+			}
+		}
+		if spec.Encoding == Unencoded {
+			continue
+		}
+		seg := c.GetSegment(id)
+		if _, ok := seg.(*storage.ReferenceSegment); ok {
+			return fmt.Errorf("encoding: cannot encode reference segment")
+		}
+		encoded, err := EncodeSegment(seg, spec)
+		if err != nil {
+			return err
+		}
+		if encoded != seg {
+			c.ReplaceSegment(id, encoded)
+		}
+	}
+	return nil
+}
+
+// EncodeTable finalizes the last chunk and encodes all chunks of a data
+// table (bulk-load path of the benchmark binaries).
+func EncodeTable(t *storage.Table, def Spec, perColumn map[types.ColumnID]Spec) error {
+	t.FinalizeLastChunk()
+	for _, c := range t.Chunks() {
+		if err := EncodeChunk(c, def, perColumn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package encoding
+
+import (
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// forBlockSize is the number of values that share one reference frame.
+// Hyrise uses 2048-value blocks for frame-of-reference encoding.
+const forBlockSize = 2048
+
+// FrameOfReferenceSegment encodes int64 values as unsigned offsets from a
+// per-block minimum (the "frame"). The offset vector is compressed with a
+// physical scheme, so locally clustered values (timestamps, foreign keys)
+// shrink dramatically. FOR is integer-only.
+type FrameOfReferenceSegment struct {
+	frames  []int64 // per-block minimum
+	offsets UintVector
+	nulls   []bool // nil when no NULLs exist
+	n       int
+}
+
+// EncodeFrameOfReference builds a FOR segment. nulls may be nil. NULL rows
+// store offset 0 within their block; the null bitmap is authoritative.
+func EncodeFrameOfReference(values []int64, nulls []bool, compression VectorCompressionType) *FrameOfReferenceSegment {
+	s := &FrameOfReferenceSegment{n: len(values)}
+	nBlocks := (len(values) + forBlockSize - 1) / forBlockSize
+	s.frames = make([]int64, nBlocks)
+	codes := make([]uint64, len(values))
+	var anyNull bool
+	for b := 0; b < nBlocks; b++ {
+		lo := b * forBlockSize
+		hi := min(lo+forBlockSize, len(values))
+		frame := int64(0)
+		frameSet := false
+		for i := lo; i < hi; i++ {
+			if nulls != nil && nulls[i] {
+				anyNull = true
+				continue
+			}
+			if !frameSet || values[i] < frame {
+				frame = values[i]
+				frameSet = true
+			}
+		}
+		s.frames[b] = frame
+		for i := lo; i < hi; i++ {
+			if nulls != nil && nulls[i] {
+				codes[i] = 0
+				continue
+			}
+			codes[i] = uint64(values[i] - frame)
+		}
+	}
+	if anyNull {
+		s.nulls = make([]bool, len(values))
+		copy(s.nulls, nulls)
+	}
+	s.offsets = CompressUints(codes, compression)
+	return s
+}
+
+// Frames exposes the per-block minima.
+func (s *FrameOfReferenceSegment) Frames() []int64 { return s.frames }
+
+// OffsetVector exposes the compressed offset vector.
+func (s *FrameOfReferenceSegment) OffsetVector() UintVector { return s.offsets }
+
+// Get returns the value and null flag at offset i.
+func (s *FrameOfReferenceSegment) Get(i types.ChunkOffset) (int64, bool) {
+	if s.nulls != nil && s.nulls[i] {
+		return 0, true
+	}
+	return s.frames[int(i)/forBlockSize] + int64(s.offsets.Get(int(i))), false
+}
+
+// DecodeAll materializes all values and null flags.
+func (s *FrameOfReferenceSegment) DecodeAll() ([]int64, []bool) {
+	codes := s.offsets.DecodeAll(make([]uint64, 0, s.n))
+	out := make([]int64, len(codes))
+	for i, c := range codes {
+		out[i] = s.frames[i/forBlockSize] + int64(c)
+	}
+	var nulls []bool
+	if s.nulls != nil {
+		nulls = make([]bool, s.n)
+		copy(nulls, s.nulls)
+		for i, null := range nulls {
+			if null {
+				out[i] = 0
+			}
+		}
+	}
+	return out, nulls
+}
+
+// DataType implements storage.Segment.
+func (s *FrameOfReferenceSegment) DataType() types.DataType { return types.TypeInt64 }
+
+// Len implements storage.Segment.
+func (s *FrameOfReferenceSegment) Len() int { return s.n }
+
+// ValueAt implements storage.Segment (dynamic path).
+func (s *FrameOfReferenceSegment) ValueAt(i types.ChunkOffset) types.Value {
+	v, null := s.Get(i)
+	if null {
+		return types.NullValue
+	}
+	return types.Int(v)
+}
+
+// IsNullAt implements storage.Segment.
+func (s *FrameOfReferenceSegment) IsNullAt(i types.ChunkOffset) bool {
+	return s.nulls != nil && s.nulls[i]
+}
+
+// MemoryUsage implements storage.Segment.
+func (s *FrameOfReferenceSegment) MemoryUsage() int64 {
+	m := int64(len(s.frames))*8 + s.offsets.MemoryUsage()
+	if s.nulls != nil {
+		m += int64(len(s.nulls))
+	}
+	return m
+}
+
+var _ storage.Segment = (*FrameOfReferenceSegment)(nil)

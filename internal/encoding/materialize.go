@@ -1,0 +1,294 @@
+package encoding
+
+import (
+	"fmt"
+
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// This file implements the two access paths the paper contrasts:
+//
+//   - The *static* path: the concrete segment type (and, nested inside, the
+//     concrete attribute-vector type) is resolved once per segment; the
+//     inner loops are monomorphic with devirtualized, inlinable accessor
+//     calls. This is the Go analog of Hyrise's template-resolved iterables.
+//
+//   - The *dynamic* path: one interface call (Segment.ValueAt) plus one
+//     Value box per element, the analog of Hyrise1's virtual method calls.
+//
+// Figure 3b compares the two; Figure 3a compares positional gathering
+// (MaterializePositions) against full decoding (Materialize + gather).
+
+// Gather fills out/nulls with the values at the given positions of a
+// dictionary segment, resolving the attribute vector type once.
+func (s *DictionarySegment[T]) Gather(pos []types.ChunkOffset, out []T, nulls []bool) {
+	switch av := s.av.(type) {
+	case *FixedWidthVector[uint8]:
+		gatherDict(s.dict, av.data, uint64(s.nullID), pos, out, nulls)
+	case *FixedWidthVector[uint16]:
+		gatherDict(s.dict, av.data, uint64(s.nullID), pos, out, nulls)
+	case *FixedWidthVector[uint32]:
+		gatherDict(s.dict, av.data, uint64(s.nullID), pos, out, nulls)
+	case *FixedWidthVector[uint64]:
+		gatherDict(s.dict, av.data, uint64(s.nullID), pos, out, nulls)
+	case *BP128Vector:
+		for i, p := range pos {
+			id := av.GetFast(int(p))
+			if id == uint64(s.nullID) {
+				nulls[i] = true
+				continue
+			}
+			out[i] = s.dict[id]
+		}
+	default:
+		for i, p := range pos {
+			v, null := s.Get(p)
+			out[i], nulls[i] = v, null
+		}
+	}
+}
+
+func gatherDict[T types.Ordered, W uint8 | uint16 | uint32 | uint64](dict []T, data []W, nullID uint64, pos []types.ChunkOffset, out []T, nulls []bool) {
+	for i, p := range pos {
+		id := uint64(data[p])
+		if id == nullID {
+			nulls[i] = true
+			continue
+		}
+		out[i] = dict[id]
+	}
+}
+
+// Matches appends to dst the chunk offsets whose value id lies in [lo, hi).
+// This is the specialized dictionary scan: predicates are translated to a
+// value-id range by the caller (via LowerBound/UpperBound) and the scan
+// compares integer codes without decoding.
+func (s *DictionarySegment[T]) Matches(lo, hi ValueID, dst []types.ChunkOffset) []types.ChunkOffset {
+	if lo >= hi {
+		return dst
+	}
+	switch av := s.av.(type) {
+	case *FixedWidthVector[uint8]:
+		return matchRange(av.data, uint64(lo), uint64(hi), dst)
+	case *FixedWidthVector[uint16]:
+		return matchRange(av.data, uint64(lo), uint64(hi), dst)
+	case *FixedWidthVector[uint32]:
+		return matchRange(av.data, uint64(lo), uint64(hi), dst)
+	case *FixedWidthVector[uint64]:
+		return matchRange(av.data, uint64(lo), uint64(hi), dst)
+	case *BP128Vector:
+		n := av.Len()
+		for i := 0; i < n; i++ {
+			if id := av.GetFast(i); uint64(lo) <= id && id < uint64(hi) {
+				dst = append(dst, types.ChunkOffset(i))
+			}
+		}
+		return dst
+	default:
+		n := s.av.Len()
+		for i := 0; i < n; i++ {
+			if id := s.av.Get(i); uint64(lo) <= id && id < uint64(hi) {
+				dst = append(dst, types.ChunkOffset(i))
+			}
+		}
+		return dst
+	}
+}
+
+func matchRange[W uint8 | uint16 | uint32 | uint64](data []W, lo, hi uint64, dst []types.ChunkOffset) []types.ChunkOffset {
+	for i, id := range data {
+		if lo <= uint64(id) && uint64(id) < hi {
+			dst = append(dst, types.ChunkOffset(i))
+		}
+	}
+	return dst
+}
+
+// Gather fills out/nulls with the values at the given positions of a FOR
+// segment, resolving the offset vector type once.
+func (s *FrameOfReferenceSegment) Gather(pos []types.ChunkOffset, out []int64, nulls []bool) {
+	switch ov := s.offsets.(type) {
+	case *FixedWidthVector[uint8]:
+		gatherFOR(s.frames, ov.data, s.nulls, pos, out, nulls)
+	case *FixedWidthVector[uint16]:
+		gatherFOR(s.frames, ov.data, s.nulls, pos, out, nulls)
+	case *FixedWidthVector[uint32]:
+		gatherFOR(s.frames, ov.data, s.nulls, pos, out, nulls)
+	case *FixedWidthVector[uint64]:
+		gatherFOR(s.frames, ov.data, s.nulls, pos, out, nulls)
+	case *BP128Vector:
+		for i, p := range pos {
+			if s.nulls != nil && s.nulls[p] {
+				nulls[i] = true
+				continue
+			}
+			out[i] = s.frames[int(p)/forBlockSize] + int64(ov.GetFast(int(p)))
+		}
+	default:
+		for i, p := range pos {
+			out[i], nulls[i] = s.Get(p)
+		}
+	}
+}
+
+func gatherFOR[W uint8 | uint16 | uint32 | uint64](frames []int64, data []W, segNulls []bool, pos []types.ChunkOffset, out []int64, nulls []bool) {
+	for i, p := range pos {
+		if segNulls != nil && segNulls[p] {
+			nulls[i] = true
+			continue
+		}
+		out[i] = frames[int(p)/forBlockSize] + int64(data[p])
+	}
+}
+
+// Gather fills out/nulls with the values at the given positions of a
+// run-length segment: an inlined binary search over the run ends per
+// position. Random access over runs is inherently logarithmic — Figure 3a
+// shows run-length as the encoding where full decoding can beat positional
+// access for large position lists.
+func (s *RunLengthSegment[T]) Gather(pos []types.ChunkOffset, out []T, nulls []bool) {
+	ends := s.ends
+	for i, p := range pos {
+		lo, hi := 0, len(ends)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ends[mid] < p {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if s.nulls != nil && s.nulls[lo] {
+			nulls[i] = true
+			continue
+		}
+		out[i] = s.values[lo]
+	}
+}
+
+// Materialize decodes a full segment into a typed slice plus null flags
+// (nil when no NULLs). For value segments this is zero-copy: the returned
+// slices alias the segment and must not be mutated. T must match the
+// segment's data type.
+func Materialize[T types.Ordered](seg storage.Segment) ([]T, []bool) {
+	switch s := seg.(type) {
+	case *storage.ValueSegment[T]:
+		return s.Values(), s.Nulls()
+	case *DictionarySegment[T]:
+		return s.DecodeAll()
+	case *RunLengthSegment[T]:
+		return s.DecodeAll()
+	case *FrameOfReferenceSegment:
+		vals, nulls := s.DecodeAll()
+		return any(vals).([]T), nulls
+	case *storage.ReferenceSegment:
+		n := s.Len()
+		pos := make([]types.ChunkOffset, n)
+		for i := range pos {
+			pos[i] = types.ChunkOffset(i)
+		}
+		return MaterializePositions[T](seg, pos)
+	default:
+		panic(fmt.Sprintf("encoding: cannot materialize %T as %s", seg, types.Native[T]()))
+	}
+}
+
+// MaterializePositions gathers the values at the given offsets of a segment
+// (the positional access path of Figure 3a). T must match the segment's
+// data type.
+func MaterializePositions[T types.Ordered](seg storage.Segment, pos []types.ChunkOffset) ([]T, []bool) {
+	out := make([]T, len(pos))
+	nulls := make([]bool, len(pos))
+	switch s := seg.(type) {
+	case *storage.ValueSegment[T]:
+		vals, segNulls := s.Values(), s.Nulls()
+		for i, p := range pos {
+			if segNulls != nil && segNulls[p] {
+				nulls[i] = true
+				continue
+			}
+			out[i] = vals[p]
+		}
+	case *DictionarySegment[T]:
+		s.Gather(pos, out, nulls)
+	case *RunLengthSegment[T]:
+		s.Gather(pos, out, nulls)
+	case *FrameOfReferenceSegment:
+		s.Gather(pos, any(out).([]int64), nulls)
+	case *storage.ReferenceSegment:
+		gatherReference(s, pos, out, nulls)
+	default:
+		panic(fmt.Sprintf("encoding: cannot gather from %T as %s", seg, types.Native[T]()))
+	}
+	return out, nulls
+}
+
+// gatherReference resolves a reference segment's positions chunk-by-chunk so
+// the underlying segments are each resolved once, then scatters the results
+// back into request order.
+func gatherReference[T types.Ordered](s *storage.ReferenceSegment, pos []types.ChunkOffset, out []T, nulls []bool) {
+	table := s.ReferencedTable()
+	col := s.ReferencedColumn()
+	posList := s.PosList()
+
+	// Group the requested positions by target chunk.
+	type req struct {
+		offsets []types.ChunkOffset // offsets in the referenced chunk
+		backMap []int               // index into out
+	}
+	groups := make(map[types.ChunkID]*req)
+	for i, p := range pos {
+		rowID := posList[p]
+		if rowID.IsNull() {
+			nulls[i] = true
+			continue
+		}
+		g := groups[rowID.Chunk]
+		if g == nil {
+			g = &req{}
+			groups[rowID.Chunk] = g
+		}
+		g.offsets = append(g.offsets, rowID.Offset)
+		g.backMap = append(g.backMap, i)
+	}
+	for chunkID, g := range groups {
+		seg := table.GetChunk(chunkID).GetSegment(col)
+		vals, segNulls := MaterializePositions[T](seg, g.offsets)
+		for j, back := range g.backMap {
+			if segNulls[j] {
+				nulls[back] = true
+				continue
+			}
+			out[back] = vals[j]
+		}
+	}
+}
+
+// MaterializeDynamic gathers positions through the Segment interface — one
+// virtual call and one Value box per element. It exists as the
+// dynamic-polymorphism baseline of Figure 3b and as the fallback for
+// operators without specializations.
+func MaterializeDynamic[T types.Ordered](seg storage.Segment, pos []types.ChunkOffset) ([]T, []bool) {
+	out := make([]T, len(pos))
+	nulls := make([]bool, len(pos))
+	for i, p := range pos {
+		v := seg.ValueAt(p)
+		if v.IsNull() {
+			nulls[i] = true
+			continue
+		}
+		out[i] = types.ToNative[T](v)
+	}
+	return out, nulls
+}
+
+// MaterializeValues decodes a full segment into dynamic Values (boundary
+// use: result rendering, row materialization for inserts).
+func MaterializeValues(seg storage.Segment) []types.Value {
+	out := make([]types.Value, seg.Len())
+	for i := range out {
+		out[i] = seg.ValueAt(types.ChunkOffset(i))
+	}
+	return out
+}

@@ -1,0 +1,485 @@
+// Package fusion is the reproduction's stand-in for Hyrise's LLVM-based
+// just-in-time query compilation (paper §2.7; DESIGN.md substitution S3).
+// Go cannot specialize LLVM bitcode at runtime, but the JIT's two measured
+// effects are reproduced:
+//
+//  1. Code specialization: expression trees are compiled once into closure
+//     trees over typed column slices — all type switches, operator
+//     dispatch, and LIKE pattern compilation happen at compile time, none
+//     per row (the analog of replacing virtual calls and type switches
+//     with concrete code).
+//  2. Operator fusion: scan→aggregate pipelines between pipeline breakers
+//     collapse into a single pass per chunk with no intermediate position
+//     lists or reference tables (the analog of "a single binary that
+//     represents all logical operators between two pipeline breakers").
+//
+// Like the paper's JIT ("the JIT component has to be explicitly enabled"),
+// fusion is off by default and enabled per engine configuration.
+package fusion
+
+import (
+	"fmt"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Numeric is a compiled numeric expression: evaluated per row with all
+// dispatch resolved at compile time.
+type Numeric func(row int) (val float64, null bool)
+
+// Bool is a compiled predicate (SQL three-valued: null means UNKNOWN).
+type Bool func(row int) (val bool, null bool)
+
+// Str is a compiled string expression.
+type Str func(row int) (val string, null bool)
+
+// ColumnSource hands the compiler typed column slices for the current
+// chunk. Materialization happens once per chunk, before the fused loop.
+type ColumnSource struct {
+	Ints    map[int][]int64
+	Floats  map[int][]float64
+	Strs    map[int][]string
+	Nulls   map[int][]bool // nil entry = no NULLs in that column
+	ColType func(index int) types.DataType
+}
+
+// NewColumnSource prepares an empty source with a type resolver.
+func NewColumnSource(colType func(int) types.DataType) *ColumnSource {
+	return &ColumnSource{
+		Ints:    make(map[int][]int64),
+		Floats:  make(map[int][]float64),
+		Strs:    make(map[int][]string),
+		Nulls:   make(map[int][]bool),
+		ColType: colType,
+	}
+}
+
+// CompileNumeric builds the closure tree for a numeric expression.
+func CompileNumeric(e expression.Expression, src *ColumnSource) (Numeric, error) {
+	switch x := e.(type) {
+	case *expression.Literal:
+		if x.Value.IsNull() {
+			return func(int) (float64, bool) { return 0, true }, nil
+		}
+		if !x.Value.Type.IsNumeric() {
+			return nil, fmt.Errorf("fusion: non-numeric literal %s", x)
+		}
+		v := x.Value.AsFloat()
+		return func(int) (float64, bool) { return v, false }, nil
+
+	case *expression.BoundColumn:
+		dt := x.DT
+		if dt == types.TypeNull && src.ColType != nil {
+			dt = src.ColType(x.Index)
+		}
+		idx := x.Index
+		switch dt {
+		case types.TypeInt64:
+			vals := src.Ints[idx]
+			nulls := src.Nulls[idx]
+			if nulls == nil {
+				return func(row int) (float64, bool) { return float64(vals[row]), false }, nil
+			}
+			return func(row int) (float64, bool) { return float64(vals[row]), nulls[row] }, nil
+		case types.TypeFloat64:
+			vals := src.Floats[idx]
+			nulls := src.Nulls[idx]
+			if nulls == nil {
+				return func(row int) (float64, bool) { return vals[row], false }, nil
+			}
+			return func(row int) (float64, bool) { return vals[row], nulls[row] }, nil
+		default:
+			return nil, fmt.Errorf("fusion: column %d is not numeric", idx)
+		}
+
+	case *expression.Negation:
+		child, err := CompileNumeric(x.Child, src)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) (float64, bool) {
+			v, null := child(row)
+			return -v, null
+		}, nil
+
+	case *expression.Arithmetic:
+		l, err := CompileNumeric(x.Left, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CompileNumeric(x.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		// The operator dispatch happens here, once.
+		switch x.Op {
+		case expression.Add:
+			return func(row int) (float64, bool) {
+				a, n1 := l(row)
+				b, n2 := r(row)
+				return a + b, n1 || n2
+			}, nil
+		case expression.Sub:
+			return func(row int) (float64, bool) {
+				a, n1 := l(row)
+				b, n2 := r(row)
+				return a - b, n1 || n2
+			}, nil
+		case expression.Mul:
+			return func(row int) (float64, bool) {
+				a, n1 := l(row)
+				b, n2 := r(row)
+				return a * b, n1 || n2
+			}, nil
+		case expression.Div:
+			return func(row int) (float64, bool) {
+				a, n1 := l(row)
+				b, n2 := r(row)
+				if b == 0 {
+					return 0, true
+				}
+				return a / b, n1 || n2
+			}, nil
+		default:
+			return nil, fmt.Errorf("fusion: unsupported arithmetic %s", x.Op)
+		}
+
+	case *expression.Case:
+		type arm struct {
+			when Bool
+			then Numeric
+		}
+		arms := make([]arm, len(x.Whens))
+		for i, w := range x.Whens {
+			when, err := CompileBool(w.When, src)
+			if err != nil {
+				return nil, err
+			}
+			then, err := CompileNumeric(w.Then, src)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{when, then}
+		}
+		var els Numeric
+		if x.Else != nil {
+			compiled, err := CompileNumeric(x.Else, src)
+			if err != nil {
+				return nil, err
+			}
+			els = compiled
+		}
+		return func(row int) (float64, bool) {
+			for _, a := range arms {
+				v, null := a.when(row)
+				if !null && v {
+					return a.then(row)
+				}
+			}
+			if els != nil {
+				return els(row)
+			}
+			return 0, true
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("fusion: cannot compile %T as numeric", e)
+	}
+}
+
+// CompileStr builds the closure tree for a string expression.
+func CompileStr(e expression.Expression, src *ColumnSource) (Str, error) {
+	switch x := e.(type) {
+	case *expression.Literal:
+		if x.Value.IsNull() {
+			return func(int) (string, bool) { return "", true }, nil
+		}
+		if x.Value.Type != types.TypeString {
+			return nil, fmt.Errorf("fusion: non-string literal %s", x)
+		}
+		v := x.Value.S
+		return func(int) (string, bool) { return v, false }, nil
+	case *expression.BoundColumn:
+		vals := src.Strs[x.Index]
+		nulls := src.Nulls[x.Index]
+		if vals == nil {
+			return nil, fmt.Errorf("fusion: column %d is not a string column", x.Index)
+		}
+		if nulls == nil {
+			return func(row int) (string, bool) { return vals[row], false }, nil
+		}
+		return func(row int) (string, bool) { return vals[row], nulls[row] }, nil
+	default:
+		return nil, fmt.Errorf("fusion: cannot compile %T as string", e)
+	}
+}
+
+// CompileBool builds the closure tree for a predicate.
+func CompileBool(e expression.Expression, src *ColumnSource) (Bool, error) {
+	switch x := e.(type) {
+	case *expression.Literal:
+		if x.Value.IsNull() {
+			return func(int) (bool, bool) { return false, true }, nil
+		}
+		v := x.Value.AsBool()
+		return func(int) (bool, bool) { return v, false }, nil
+
+	case *expression.Comparison:
+		return compileComparison(x, src)
+
+	case *expression.Logical:
+		l, err := CompileBool(x.Left, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CompileBool(x.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == expression.And {
+			return func(row int) (bool, bool) {
+				lv, ln := l(row)
+				if !ln && !lv {
+					return false, false // short circuit
+				}
+				rv, rn := r(row)
+				if !rn && !rv {
+					return false, false
+				}
+				if ln || rn {
+					return false, true
+				}
+				return true, false
+			}, nil
+		}
+		return func(row int) (bool, bool) {
+			lv, ln := l(row)
+			if !ln && lv {
+				return true, false
+			}
+			rv, rn := r(row)
+			if !rn && rv {
+				return true, false
+			}
+			if ln || rn {
+				return false, true
+			}
+			return false, false
+		}, nil
+
+	case *expression.Not:
+		child, err := CompileBool(x.Child, src)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) (bool, bool) {
+			v, null := child(row)
+			return !v, null
+		}, nil
+
+	case *expression.IsNull:
+		child, err := compileAny(x.Child, src)
+		if err != nil {
+			return nil, err
+		}
+		negate := x.Negate
+		return func(row int) (bool, bool) {
+			null := child(row)
+			return null != negate, false
+		}, nil
+
+	case *expression.Between:
+		ge := &expression.Comparison{Op: expression.Ge, Left: x.Child, Right: x.Lo}
+		le := &expression.Comparison{Op: expression.Le, Left: x.Child, Right: x.Hi}
+		return CompileBool(&expression.Logical{Op: expression.And, Left: ge, Right: le}, src)
+
+	case *expression.In:
+		if x.Subquery != nil {
+			return nil, fmt.Errorf("fusion: IN subquery not fusible")
+		}
+		child, err := CompileNumeric(x.Child, src)
+		if err == nil {
+			set := make(map[float64]bool, len(x.List))
+			for _, el := range x.List {
+				lit, ok := el.(*expression.Literal)
+				if !ok || !lit.Value.Type.IsNumeric() {
+					return nil, fmt.Errorf("fusion: non-literal IN list")
+				}
+				set[lit.Value.AsFloat()] = true
+			}
+			negate := x.Negate
+			return func(row int) (bool, bool) {
+				v, null := child(row)
+				if null {
+					return false, true
+				}
+				return set[v] != negate, false
+			}, nil
+		}
+		strChild, err := CompileStr(x.Child, src)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool, len(x.List))
+		for _, el := range x.List {
+			lit, ok := el.(*expression.Literal)
+			if !ok || lit.Value.Type != types.TypeString {
+				return nil, fmt.Errorf("fusion: non-literal IN list")
+			}
+			set[lit.Value.S] = true
+		}
+		negate := x.Negate
+		return func(row int) (bool, bool) {
+			v, null := strChild(row)
+			if null {
+				return false, true
+			}
+			return set[v] != negate, false
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("fusion: cannot compile %T as predicate", e)
+	}
+}
+
+func compileComparison(x *expression.Comparison, src *ColumnSource) (Bool, error) {
+	// LIKE: pattern compiled once.
+	if x.Op == expression.Like || x.Op == expression.NotLike {
+		val, err := CompileStr(x.Left, src)
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := x.Right.(*expression.Literal)
+		if !ok || lit.Value.Type != types.TypeString {
+			return nil, fmt.Errorf("fusion: LIKE needs a literal pattern")
+		}
+		matcher := expression.CompileLike(lit.Value.S)
+		negate := x.Op == expression.NotLike
+		return func(row int) (bool, bool) {
+			s, null := val(row)
+			if null {
+				return false, true
+			}
+			return matcher.Match(s) != negate, false
+		}, nil
+	}
+	// String comparison.
+	if ls, err := CompileStr(x.Left, src); err == nil {
+		rs, err := CompileStr(x.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(row int) (bool, bool) {
+			a, n1 := ls(row)
+			b, n2 := rs(row)
+			if n1 || n2 {
+				return false, true
+			}
+			switch op {
+			case expression.Eq:
+				return a == b, false
+			case expression.Ne:
+				return a != b, false
+			case expression.Lt:
+				return a < b, false
+			case expression.Le:
+				return a <= b, false
+			case expression.Gt:
+				return a > b, false
+			default:
+				return a >= b, false
+			}
+		}, nil
+	}
+	// Numeric comparison.
+	l, err := CompileNumeric(x.Left, src)
+	if err != nil {
+		return nil, err
+	}
+	r, err := CompileNumeric(x.Right, src)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	return func(row int) (bool, bool) {
+		a, n1 := l(row)
+		b, n2 := r(row)
+		if n1 || n2 {
+			return false, true
+		}
+		switch op {
+		case expression.Eq:
+			return a == b, false
+		case expression.Ne:
+			return a != b, false
+		case expression.Lt:
+			return a < b, false
+		case expression.Le:
+			return a <= b, false
+		case expression.Gt:
+			return a > b, false
+		default:
+			return a >= b, false
+		}
+	}, nil
+}
+
+// compileAny compiles just the null test of an arbitrary expression.
+func compileAny(e expression.Expression, src *ColumnSource) (func(row int) bool, error) {
+	if n, err := CompileNumeric(e, src); err == nil {
+		return func(row int) bool { _, null := n(row); return null }, nil
+	}
+	if s, err := CompileStr(e, src); err == nil {
+		return func(row int) bool { _, null := s(row); return null }, nil
+	}
+	if b, err := CompileBool(e, src); err == nil {
+		return func(row int) bool { _, null := b(row); return null }, nil
+	}
+	return nil, fmt.Errorf("fusion: cannot compile %T", e)
+}
+
+// CollectColumns registers every BoundColumn of the expressions in the
+// source, so the fused operator knows what to materialize.
+func CollectColumns(src *ColumnSource, exprs ...expression.Expression) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		expression.VisitAll(e, func(x expression.Expression) {
+			if bc, ok := x.(*expression.BoundColumn); ok && !seen[bc.Index] {
+				seen[bc.Index] = true
+				out = append(out, bc.Index)
+			}
+		})
+	}
+	return out
+}
+
+// MaterializeChunk loads the listed columns of a chunk into the source.
+func MaterializeChunk(src *ColumnSource, chunk *storage.Chunk, cols []int) error {
+	for _, col := range cols {
+		seg := chunk.GetSegment(types.ColumnID(col))
+		vec := expression.VectorFromSegment(seg)
+		switch vec.DT {
+		case types.TypeInt64:
+			src.Ints[col] = vec.I
+		case types.TypeFloat64:
+			src.Floats[col] = vec.F
+		case types.TypeString:
+			src.Strs[col] = vec.S
+		default:
+			return fmt.Errorf("fusion: unsupported column type %s", vec.DT)
+		}
+		if vec.Nulls != nil {
+			src.Nulls[col] = vec.Nulls
+		} else {
+			delete(src.Nulls, col)
+		}
+	}
+	return nil
+}

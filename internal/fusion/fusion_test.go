@@ -1,0 +1,295 @@
+package fusion_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/expression"
+	"hyrise/internal/fusion"
+	"hyrise/internal/operators"
+	"hyrise/internal/pipeline"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+func fusionEngine(t *testing.T, useFusion bool) (*pipeline.Engine, *pipeline.Session) {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.UseFusion = useFusion
+	e := pipeline.NewEngine(cfg, nil)
+	t.Cleanup(e.Close)
+	s := e.NewSession()
+	if _, err := s.ExecuteOne(`CREATE TABLE items (
+		qty FLOAT NOT NULL, price FLOAT NOT NULL, disc FLOAT NOT NULL,
+		tag VARCHAR(10) NOT NULL, grp INT NOT NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO items VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d.0, %d.5, 0.0%d, 'tag%d', %d)", i%50+1, i%100, i%10, i%3, i%7)
+	}
+	if _, err := s.ExecuteOne(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+func query(t *testing.T, s *pipeline.Session, sql string) []string {
+	t.Helper()
+	res, err := s.ExecuteOne(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	var out []string
+	for _, r := range pipeline.RowStrings(res.Table) {
+		out = append(out, strings.Join(r, "|"))
+	}
+	return out
+}
+
+// Fused and traditional execution must agree on every supported pattern.
+func TestFusedAgreesWithTraditional(t *testing.T) {
+	_, fused := fusionEngine(t, true)
+	_, plain := fusionEngine(t, false)
+	queries := []string{
+		"SELECT sum(qty) FROM items",
+		"SELECT count(*), sum(price * (1 - disc)), avg(qty), min(price), max(price) FROM items",
+		"SELECT sum(price) FROM items WHERE qty > 25 AND disc BETWEEN 0.02 AND 0.08",
+		"SELECT sum(CASE WHEN tag LIKE 'tag1%' THEN price ELSE 0 END) FROM items",
+		"SELECT count(*) FROM items WHERE grp IN (1, 3, 5) AND NOT (qty < 10)",
+		"SELECT sum(qty * price - disc * 100) / count(*) FROM items WHERE tag <> 'tag0'",
+	}
+	for _, q := range queries {
+		got := query(t, fused, q)
+		want := query(t, plain, q)
+		if len(got) != len(want) {
+			t.Fatalf("%s: row count %d vs %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s:\n  fused: %s\n  plain: %s", q, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTryFusePatterns(t *testing.T) {
+	col := func(i int) *expression.BoundColumn { return &expression.BoundColumn{Index: i, DT: types.TypeFloat64} }
+	get := &operators.GetTable{TableName: "items"}
+	scan := operators.NewTableScan(get, &expression.Comparison{Op: expression.Gt, Left: col(0), Right: expression.NewLiteral(types.Float(1))})
+	agg := operators.NewAggregate(scan, nil,
+		[]*expression.Aggregate{{Fn: expression.AggSum, Arg: col(1)}},
+		[]string{"s"}, []types.DataType{types.TypeFloat64})
+
+	fused, ok := fusion.TryFuse(agg)
+	if !ok {
+		t.Fatal("scan+aggregate should fuse")
+	}
+	if _, isFused := fused.(*fusion.ScanAggregate); !isFused {
+		t.Fatalf("got %T", fused)
+	}
+	if !strings.Contains(fused.Name(), "FusedScanAggregate") {
+		t.Errorf("name = %s", fused.Name())
+	}
+
+	// Projection on top fuses through.
+	proj := operators.NewProjection(agg, []expression.Expression{col(0)}, []string{"x"}, []types.DataType{types.TypeFloat64})
+	if _, ok := fusion.TryFuse(proj); !ok {
+		t.Error("projection over fused aggregate should fuse")
+	}
+
+	// Grouped aggregates do not fuse.
+	grouped := operators.NewAggregate(scan, []expression.Expression{col(0)},
+		[]*expression.Aggregate{{Fn: expression.AggSum, Arg: col(1)}},
+		[]string{"g", "s"}, []types.DataType{types.TypeFloat64, types.TypeFloat64})
+	if _, ok := fusion.TryFuse(grouped); ok {
+		t.Error("grouped aggregate must not fuse")
+	}
+
+	// COUNT DISTINCT does not fuse.
+	cd := operators.NewAggregate(scan, nil,
+		[]*expression.Aggregate{{Fn: expression.AggCountDistinct, Arg: col(1)}},
+		[]string{"cd"}, []types.DataType{types.TypeInt64})
+	if _, ok := fusion.TryFuse(cd); ok {
+		t.Error("count distinct must not fuse")
+	}
+
+	// Joins below do not fuse.
+	join := operators.NewHashJoin(operators.JoinModeInner, get, get, col(0), col(0), nil)
+	aggOverJoin := operators.NewAggregate(join, nil,
+		[]*expression.Aggregate{{Fn: expression.AggCountStar}},
+		[]string{"n"}, []types.DataType{types.TypeInt64})
+	if _, ok := fusion.TryFuse(aggOverJoin); ok {
+		t.Error("aggregate over join must not fuse")
+	}
+}
+
+func TestCompileNumericAndBool(t *testing.T) {
+	src := fusion.NewColumnSource(func(int) types.DataType { return types.TypeFloat64 })
+	src.Floats[0] = []float64{1, 2, 3}
+	src.Ints[1] = []int64{10, 20, 30}
+	src.Nulls[1] = []bool{false, true, false}
+	src.Strs[2] = []string{"alpha", "beta", "gamma"}
+
+	colF := &expression.BoundColumn{Index: 0, DT: types.TypeFloat64}
+	colI := &expression.BoundColumn{Index: 1, DT: types.TypeInt64}
+	colS := &expression.BoundColumn{Index: 2, DT: types.TypeString}
+
+	sum, err := fusion.CompileNumeric(&expression.Arithmetic{Op: expression.Add, Left: colF, Right: colI}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, null := sum(0); null || v != 11 {
+		t.Errorf("sum(0) = %f, %v", v, null)
+	}
+	if _, null := sum(1); !null {
+		t.Error("null should propagate")
+	}
+
+	like, err := fusion.CompileBool(&expression.Comparison{Op: expression.Like, Left: colS, Right: expression.NewLiteral(types.Str("%eta"))}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := like(1); !v {
+		t.Error("beta should match the pattern")
+	}
+	if v, _ := like(0); v {
+		t.Error("alpha should not match the pattern")
+	}
+
+	isNull, err := fusion.CompileBool(&expression.IsNull{Child: colI}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := isNull(1); !v {
+		t.Error("row 1 is NULL")
+	}
+	if v, _ := isNull(0); v {
+		t.Error("row 0 is not NULL")
+	}
+
+	// Unsupported shapes report errors.
+	if _, err := fusion.CompileNumeric(colS, src); err == nil {
+		t.Error("string column as numeric should fail")
+	}
+	if _, err := fusion.CompileBool(&expression.Exists{Subquery: &expression.Subquery{}}, src); err == nil {
+		t.Error("EXISTS should not compile")
+	}
+}
+
+// TestScanAggregateRunDirect executes the fused operator directly (not
+// through the SQL pipeline) over every supported aggregate and an encoded
+// input, checking results against hand-computed values.
+func TestScanAggregateRunDirect(t *testing.T) {
+	sm := storage.NewStorageManager()
+	table := storage.NewTable("direct", []storage.ColumnDefinition{
+		{Name: "v", Type: types.TypeFloat64},
+		{Name: "w", Type: types.TypeInt64, Nullable: true},
+	}, 64, false)
+	var wantSum, wantCount float64
+	wantMin, wantMax := 1e18, -1e18
+	for i := 0; i < 500; i++ {
+		v := float64(i % 97)
+		wv := types.Int(int64(i % 13))
+		if i%10 == 0 {
+			wv = types.NullValue
+		}
+		if _, err := table.AppendRow([]types.Value{types.Float(v), wv}); err != nil {
+			t.Fatal(err)
+		}
+		if v > 20 { // predicate below
+			wantSum += v * 2
+			wantCount++
+			if v*2 < wantMin {
+				wantMin = v * 2
+			}
+			if v*2 > wantMax {
+				wantMax = v * 2
+			}
+		}
+	}
+	table.FinalizeLastChunk()
+	if err := encoding.EncodeTable(table, encoding.Spec{Encoding: encoding.Dictionary, Compression: encoding.FixedSizeByteAligned}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.AddTable(table); err != nil {
+		t.Fatal(err)
+	}
+
+	col0 := &expression.BoundColumn{Index: 0, DT: types.TypeFloat64}
+	arg := &expression.Arithmetic{Op: expression.Mul, Left: col0, Right: expression.NewLiteral(types.Float(2))}
+	pred := &expression.Comparison{Op: expression.Gt, Left: col0, Right: expression.NewLiteral(types.Float(20))}
+
+	agg := operators.NewAggregate(
+		operators.NewTableScan(&operators.GetTable{TableName: "direct"}, pred),
+		nil,
+		[]*expression.Aggregate{
+			{Fn: expression.AggSum, Arg: arg},
+			{Fn: expression.AggCountStar},
+			{Fn: expression.AggMin, Arg: arg},
+			{Fn: expression.AggMax, Arg: arg},
+			{Fn: expression.AggAvg, Arg: arg},
+			{Fn: expression.AggCount, Arg: &expression.BoundColumn{Index: 1, DT: types.TypeInt64}},
+		},
+		[]string{"s", "n", "mn", "mx", "a", "c"},
+		[]types.DataType{types.TypeFloat64, types.TypeInt64, types.TypeFloat64, types.TypeFloat64, types.TypeFloat64, types.TypeInt64},
+	)
+	fused, ok := fusion.TryFuse(agg)
+	if !ok {
+		t.Fatal("should fuse")
+	}
+	ctx := operators.NewExecContext(sm, nil, nil)
+	out, err := operators.Execute(fused, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := pipeline.RowStrings(out)[0]
+	check := func(idx int, want float64) {
+		var got float64
+		if _, err := fmt.Sscan(row[idx], &got); err != nil {
+			t.Fatalf("col %d: %v", idx, err)
+		}
+		if got < want-0.001 || got > want+0.001 {
+			t.Errorf("col %d = %v, want %v", idx, got, want)
+		}
+	}
+	check(0, wantSum)
+	check(1, wantCount)
+	check(2, wantMin)
+	check(3, wantMax)
+	check(4, wantSum/wantCount)
+	// Column w: NULLs excluded from count; every 10th row of the matching
+	// set is NULL — recompute directly.
+	var wantC float64
+	for i := 0; i < 500; i++ {
+		if float64(i%97) > 20 && i%10 != 0 {
+			wantC++
+		}
+	}
+	check(5, wantC)
+
+	// Empty input: one row, NULL sum, zero counts.
+	emptyScan := operators.NewTableScan(&operators.GetTable{TableName: "direct"},
+		&expression.Comparison{Op: expression.Gt, Left: col0, Right: expression.NewLiteral(types.Float(1e9))})
+	emptyAgg := operators.NewAggregate(emptyScan, nil,
+		[]*expression.Aggregate{{Fn: expression.AggSum, Arg: arg}, {Fn: expression.AggCountStar}},
+		[]string{"s", "n"}, []types.DataType{types.TypeFloat64, types.TypeInt64})
+	fusedEmpty, ok := fusion.TryFuse(emptyAgg)
+	if !ok {
+		t.Fatal("empty case should fuse")
+	}
+	out, err = operators.Execute(fusedEmpty, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row = pipeline.RowStrings(out)[0]
+	if row[0] != "NULL" || row[1] != "0" {
+		t.Errorf("empty fused agg = %v", row)
+	}
+}

@@ -1,0 +1,285 @@
+package fusion
+
+import (
+	"fmt"
+	"strings"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/operators"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// ScanAggregate is the fused operator: scan, filter, expression evaluation,
+// and aggregation execute as one loop per chunk, with no intermediate
+// reference tables — the analog of the paper's fused "single binary that
+// represents all logical operators between two pipeline breakers".
+type ScanAggregate struct {
+	Predicate expression.Expression // nil = no filter
+	Aggs      []*expression.Aggregate
+	Names     []string
+	Types     []types.DataType
+
+	source operators.Operator
+}
+
+// Name implements operators.Operator.
+func (f *ScanAggregate) Name() string {
+	parts := make([]string, len(f.Aggs))
+	for i, a := range f.Aggs {
+		parts[i] = a.String()
+	}
+	pred := ""
+	if f.Predicate != nil {
+		pred = ", " + f.Predicate.String()
+	}
+	return "FusedScanAggregate(" + strings.Join(parts, ", ") + pred + ")"
+}
+
+// Inputs implements operators.Operator.
+func (f *ScanAggregate) Inputs() []operators.Operator { return []operators.Operator{f.source} }
+
+type fusedState struct {
+	sum   float64
+	count int64
+	min   float64
+	max   float64
+	seen  bool
+}
+
+// Run implements operators.Operator.
+func (f *ScanAggregate) Run(ctx *operators.ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	input := inputs[0]
+	states := make([]fusedState, len(f.Aggs))
+
+	var exprs []expression.Expression
+	if f.Predicate != nil {
+		exprs = append(exprs, f.Predicate)
+	}
+	for _, a := range f.Aggs {
+		if a.Arg != nil {
+			exprs = append(exprs, a.Arg)
+		}
+	}
+	colType := func(i int) types.DataType {
+		if i < input.ColumnCount() {
+			return input.ColumnDefinitions()[i].Type
+		}
+		return types.TypeNull
+	}
+
+	for _, chunk := range input.Chunks() {
+		n := chunk.Size()
+		if n == 0 {
+			continue
+		}
+		src := NewColumnSource(colType)
+		cols := CollectColumns(src, exprs...)
+		if err := MaterializeChunk(src, chunk, cols); err != nil {
+			return nil, err
+		}
+		// Compile once per chunk: all dispatch is resolved before the loop.
+		var pred Bool
+		if f.Predicate != nil {
+			compiled, err := CompileBool(f.Predicate, src)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: %w", err)
+			}
+			pred = compiled
+		}
+		args := make([]Numeric, len(f.Aggs))
+		for i, a := range f.Aggs {
+			if a.Arg == nil {
+				continue
+			}
+			compiled, err := CompileNumeric(a.Arg, src)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: %w", err)
+			}
+			args[i] = compiled
+		}
+
+		for row := 0; row < n; row++ {
+			if pred != nil {
+				ok, null := pred(row)
+				if null || !ok {
+					continue
+				}
+			}
+			for i, a := range f.Aggs {
+				st := &states[i]
+				if a.Fn == expression.AggCountStar {
+					st.count++
+					continue
+				}
+				v, null := args[i](row)
+				if null {
+					continue
+				}
+				switch a.Fn {
+				case expression.AggCount:
+					st.count++
+				case expression.AggSum, expression.AggAvg:
+					st.sum += v
+					st.count++
+					st.seen = true
+				case expression.AggMin:
+					if !st.seen || v < st.min {
+						st.min = v
+					}
+					st.seen = true
+				case expression.AggMax:
+					if !st.seen || v > st.max {
+						st.max = v
+					}
+					st.seen = true
+				}
+			}
+		}
+	}
+
+	defs := make([]storage.ColumnDefinition, len(f.Aggs))
+	row := make([]types.Value, len(f.Aggs))
+	for i, a := range f.Aggs {
+		dt := f.Types[i]
+		if dt == types.TypeNull {
+			dt = types.TypeFloat64
+		}
+		defs[i] = storage.ColumnDefinition{Name: f.Names[i], Type: dt, Nullable: true}
+		st := states[i]
+		switch a.Fn {
+		case expression.AggCountStar, expression.AggCount:
+			row[i] = coerceTo(types.Int(st.count), dt)
+		case expression.AggSum:
+			if !st.seen {
+				row[i] = types.NullValue
+			} else {
+				row[i] = coerceTo(types.Float(st.sum), dt)
+			}
+		case expression.AggAvg:
+			if st.count == 0 {
+				row[i] = types.NullValue
+			} else {
+				row[i] = coerceTo(types.Float(st.sum/float64(st.count)), dt)
+			}
+		case expression.AggMin:
+			if !st.seen {
+				row[i] = types.NullValue
+			} else {
+				row[i] = coerceTo(types.Float(st.min), dt)
+			}
+		case expression.AggMax:
+			if !st.seen {
+				row[i] = types.NullValue
+			} else {
+				row[i] = coerceTo(types.Float(st.max), dt)
+			}
+		}
+	}
+	out := storage.NewTable("", defs, 1, false)
+	if _, err := out.AppendRow(row); err != nil {
+		return nil, err
+	}
+	out.FinalizeLastChunk()
+	return out, nil
+}
+
+func coerceTo(v types.Value, dt types.DataType) types.Value {
+	if v.IsNull() || v.Type == dt {
+		return v
+	}
+	switch dt {
+	case types.TypeInt64:
+		return types.Int(v.AsInt())
+	case types.TypeFloat64:
+		return types.Float(v.AsFloat())
+	default:
+		return v
+	}
+}
+
+// TryFuse pattern-matches a physical plan and replaces fusible
+// scan→aggregate pipelines with the fused operator. It returns the
+// (possibly unchanged) root and whether fusion applied. Patterns:
+//
+//	[Projection] -> Aggregate(no group-by) -> TableScan* -> GetTable
+//
+// Joins and grouped aggregates keep the traditional engine — the paper's
+// JIT likewise falls back for not-yet-JITable operators ("the JIT-aware LQP
+// translator automatically falls back to non-JITable implementations").
+func TryFuse(root operators.Operator) (operators.Operator, bool) {
+	switch op := root.(type) {
+	case *operators.Projection:
+		child, fused := TryFuse(op.Inputs()[0])
+		if !fused {
+			return root, false
+		}
+		return operators.NewProjection(child, op.Exprs, op.Names, op.Types), true
+	case *operators.Aggregate:
+		if len(op.GroupBy) != 0 {
+			return root, false
+		}
+		for _, a := range op.Aggs {
+			if a.Fn == expression.AggCountDistinct {
+				return root, false
+			}
+			if a.Arg != nil && !compilable(a.Arg) {
+				return root, false
+			}
+		}
+		pred, source, ok := collapseScans(op.Inputs()[0])
+		if !ok {
+			return root, false
+		}
+		if pred != nil && !compilable(pred) {
+			return root, false
+		}
+		return &ScanAggregate{
+			Predicate: pred,
+			Aggs:      op.Aggs,
+			Names:     op.Names,
+			Types:     op.Types,
+			source:    source,
+		}, true
+	default:
+		return root, false
+	}
+}
+
+// collapseScans folds a chain of TableScans over a GetTable into one
+// conjunctive predicate.
+func collapseScans(op operators.Operator) (expression.Expression, operators.Operator, bool) {
+	var preds []expression.Expression
+	cur := op
+	for {
+		switch node := cur.(type) {
+		case *operators.TableScan:
+			preds = append(preds, node.Predicate)
+			cur = node.Inputs()[0]
+		case *operators.GetTable:
+			return expression.JoinConjunction(preds), node, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// compilable statically checks whether the fused compiler supports every
+// node of the expression.
+func compilable(e expression.Expression) bool {
+	ok := true
+	expression.VisitAll(e, func(x expression.Expression) {
+		switch n := x.(type) {
+		case *expression.BoundColumn, *expression.Literal, *expression.Arithmetic,
+			*expression.Negation, *expression.Comparison, *expression.Logical,
+			*expression.Not, *expression.IsNull, *expression.Between, *expression.Case:
+		case *expression.In:
+			if n.Subquery != nil {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+	})
+	return ok
+}

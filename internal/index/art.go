@@ -1,0 +1,471 @@
+package index
+
+import (
+	"bytes"
+	"sort"
+
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// ARTIndex is an adaptive radix tree (Leis et al., ICDE 2013) over the
+// binary-comparable keys of one segment. Inner nodes adapt their fan-out
+// (4, 16, 48, 256 children) to their population; common prefixes are
+// path-compressed. Leaves hold the full key plus the ascending list of
+// chunk offsets carrying that value.
+type ARTIndex struct {
+	root   artNode
+	col    types.ColumnID
+	dt     types.DataType
+	memory int64
+}
+
+type artNode interface {
+	isARTNode()
+}
+
+// artLeaf stores a complete key and its postings.
+type artLeaf struct {
+	key       []byte
+	positions []types.ChunkOffset
+}
+
+func (*artLeaf) isARTNode() {}
+
+// artInner is the common part of all inner node kinds.
+type artInner struct {
+	prefix []byte // path compression: bytes every child shares
+}
+
+type artNode4 struct {
+	artInner
+	keys     [4]byte
+	children [4]artNode
+	n        uint8
+}
+
+type artNode16 struct {
+	artInner
+	keys     [16]byte
+	children [16]artNode
+	n        uint8
+}
+
+type artNode48 struct {
+	artInner
+	childIndex [256]uint8 // 0 = empty, i+1 = children[i]
+	children   [48]artNode
+	n          uint8
+}
+
+type artNode256 struct {
+	artInner
+	children [256]artNode
+	n        uint16
+}
+
+func (*artNode4) isARTNode()   {}
+func (*artNode16) isARTNode()  {}
+func (*artNode48) isARTNode()  {}
+func (*artNode256) isARTNode() {}
+
+// buildART constructs an ART over the segment. Equal keys share one leaf.
+func buildART(seg storage.Segment, col types.ColumnID) (*ARTIndex, error) {
+	keys, offsets := materializeKeyed(seg)
+	idx := &ARTIndex{col: col, dt: seg.DataType()}
+	for i, k := range keys {
+		idx.root = idx.insert(idx.root, k, 0, offsets[i])
+	}
+	idx.memory = idx.computeMemory(idx.root)
+	return idx, nil
+}
+
+// insert adds (key, pos) below node, where depth bytes of key are consumed.
+func (idx *ARTIndex) insert(node artNode, key []byte, depth int, pos types.ChunkOffset) artNode {
+	if node == nil {
+		return &artLeaf{key: key, positions: []types.ChunkOffset{pos}}
+	}
+	if leaf, ok := node.(*artLeaf); ok {
+		if bytes.Equal(leaf.key, key) {
+			leaf.positions = append(leaf.positions, pos)
+			return leaf
+		}
+		// Split: create an inner node at the first diverging byte.
+		common := commonPrefixLen(leaf.key[depth:], key[depth:])
+		n := &artNode4{}
+		n.prefix = append([]byte(nil), key[depth:depth+common]...)
+		newLeaf := &artLeaf{key: key, positions: []types.ChunkOffset{pos}}
+		n.addChild(leaf.key[depth+common], leaf)
+		n.addChild(key[depth+common], newLeaf)
+		return n
+	}
+
+	inner := innerOf(node)
+	p := inner.prefix
+	common := commonPrefixLen(p, key[depth:])
+	if common < len(p) {
+		// Key diverges inside the compressed prefix: split the prefix.
+		n := &artNode4{}
+		n.prefix = append([]byte(nil), p[:common]...)
+		// Existing node keeps the remainder of its prefix (minus the byte
+		// consumed by the new node's child slot).
+		oldByte := p[common]
+		inner.prefix = append([]byte(nil), p[common+1:]...)
+		newLeaf := &artLeaf{key: key, positions: []types.ChunkOffset{pos}}
+		n.addChild(oldByte, node)
+		n.addChild(key[depth+common], newLeaf)
+		return n
+	}
+	depth += len(p)
+
+	b := key[depth]
+	child := findChild(node, b)
+	if child != nil {
+		newChild := idx.insert(child, key, depth+1, pos)
+		if newChild != child {
+			replaceChild(node, b, newChild)
+		}
+		return node
+	}
+	return addChildGrow(node, b, &artLeaf{key: key, positions: []types.ChunkOffset{pos}})
+}
+
+func innerOf(node artNode) *artInner {
+	switch n := node.(type) {
+	case *artNode4:
+		return &n.artInner
+	case *artNode16:
+		return &n.artInner
+	case *artNode48:
+		return &n.artInner
+	case *artNode256:
+		return &n.artInner
+	default:
+		panic("index: not an inner node")
+	}
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func (n *artNode4) addChild(b byte, child artNode) {
+	i := int(n.n)
+	for i > 0 && n.keys[i-1] > b {
+		n.keys[i] = n.keys[i-1]
+		n.children[i] = n.children[i-1]
+		i--
+	}
+	n.keys[i] = b
+	n.children[i] = child
+	n.n++
+}
+
+func (n *artNode16) addChild(b byte, child artNode) {
+	i := int(n.n)
+	for i > 0 && n.keys[i-1] > b {
+		n.keys[i] = n.keys[i-1]
+		n.children[i] = n.children[i-1]
+		i--
+	}
+	n.keys[i] = b
+	n.children[i] = child
+	n.n++
+}
+
+// findChild returns the child for byte b, or nil.
+func findChild(node artNode, b byte) artNode {
+	switch n := node.(type) {
+	case *artNode4:
+		for i := 0; i < int(n.n); i++ {
+			if n.keys[i] == b {
+				return n.children[i]
+			}
+		}
+	case *artNode16:
+		for i := 0; i < int(n.n); i++ {
+			if n.keys[i] == b {
+				return n.children[i]
+			}
+		}
+	case *artNode48:
+		if ci := n.childIndex[b]; ci != 0 {
+			return n.children[ci-1]
+		}
+	case *artNode256:
+		return n.children[b]
+	}
+	return nil
+}
+
+func replaceChild(node artNode, b byte, child artNode) {
+	switch n := node.(type) {
+	case *artNode4:
+		for i := 0; i < int(n.n); i++ {
+			if n.keys[i] == b {
+				n.children[i] = child
+				return
+			}
+		}
+	case *artNode16:
+		for i := 0; i < int(n.n); i++ {
+			if n.keys[i] == b {
+				n.children[i] = child
+				return
+			}
+		}
+	case *artNode48:
+		n.children[n.childIndex[b]-1] = child
+	case *artNode256:
+		n.children[b] = child
+	}
+}
+
+// addChildGrow adds a child, growing the node kind when full.
+func addChildGrow(node artNode, b byte, child artNode) artNode {
+	switch n := node.(type) {
+	case *artNode4:
+		if n.n < 4 {
+			n.addChild(b, child)
+			return n
+		}
+		grown := &artNode16{artInner: n.artInner}
+		copy(grown.keys[:], n.keys[:])
+		copy(grown.children[:], n.children[:])
+		grown.n = n.n
+		grown.addChild(b, child)
+		return grown
+	case *artNode16:
+		if n.n < 16 {
+			n.addChild(b, child)
+			return n
+		}
+		grown := &artNode48{artInner: n.artInner}
+		for i := 0; i < 16; i++ {
+			grown.children[i] = n.children[i]
+			grown.childIndex[n.keys[i]] = uint8(i + 1)
+		}
+		grown.n = 16
+		grown.children[16] = child
+		grown.childIndex[b] = 17
+		grown.n++
+		return grown
+	case *artNode48:
+		if n.n < 48 {
+			n.children[n.n] = child
+			n.childIndex[b] = n.n + 1
+			n.n++
+			return n
+		}
+		grown := &artNode256{artInner: n.artInner}
+		for byteVal, ci := range n.childIndex {
+			if ci != 0 {
+				grown.children[byteVal] = n.children[ci-1]
+			}
+		}
+		grown.n = 48
+		grown.children[b] = child
+		grown.n++
+		return grown
+	case *artNode256:
+		n.children[b] = child
+		n.n++
+		return n
+	default:
+		panic("index: addChildGrow on leaf")
+	}
+}
+
+// forEachChild visits children in ascending byte order.
+func forEachChild(node artNode, f func(b byte, child artNode) bool) {
+	switch n := node.(type) {
+	case *artNode4:
+		for i := 0; i < int(n.n); i++ {
+			if !f(n.keys[i], n.children[i]) {
+				return
+			}
+		}
+	case *artNode16:
+		for i := 0; i < int(n.n); i++ {
+			if !f(n.keys[i], n.children[i]) {
+				return
+			}
+		}
+	case *artNode48:
+		for b := 0; b < 256; b++ {
+			if ci := n.childIndex[b]; ci != 0 {
+				if !f(byte(b), n.children[ci-1]) {
+					return
+				}
+			}
+		}
+	case *artNode256:
+		for b := 0; b < 256; b++ {
+			if n.children[b] != nil {
+				if !f(byte(b), n.children[b]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// lookup returns the leaf holding exactly key, or nil.
+func (idx *ARTIndex) lookup(key []byte) *artLeaf {
+	node := idx.root
+	depth := 0
+	for node != nil {
+		if leaf, ok := node.(*artLeaf); ok {
+			if bytes.Equal(leaf.key, key) {
+				return leaf
+			}
+			return nil
+		}
+		p := innerOf(node).prefix
+		if depth+len(p) > len(key) || !bytes.Equal(key[depth:depth+len(p)], p) {
+			return nil
+		}
+		depth += len(p)
+		if depth >= len(key) {
+			return nil
+		}
+		node = findChild(node, key[depth])
+		depth++
+	}
+	return nil
+}
+
+// rangeScan collects positions of all leaves whose key is in [lo, hi]
+// (inclusive; nil bounds are open). Traversal prunes subtrees whose
+// accumulated path falls outside the bounds.
+func (idx *ARTIndex) rangeScan(lo, hi []byte, out *[]types.ChunkOffset) {
+	var walk func(node artNode, path []byte)
+	walk = func(node artNode, path []byte) {
+		switch n := node.(type) {
+		case nil:
+			return
+		case *artLeaf:
+			if lo != nil && bytes.Compare(n.key, lo) < 0 {
+				return
+			}
+			if hi != nil && bytes.Compare(n.key, hi) > 0 {
+				return
+			}
+			*out = append(*out, n.positions...)
+		default:
+			path = append(path, innerOf(n).prefix...)
+			// Prune: all keys below share the path prefix.
+			if lo != nil && prefixCompare(path, lo) < 0 {
+				return
+			}
+			if hi != nil && prefixCompare(path, hi) > 0 {
+				return
+			}
+			forEachChild(node, func(b byte, child artNode) bool {
+				childPath := append(path, b)
+				if lo != nil && prefixCompare(childPath, lo) < 0 {
+					return true // children are ordered; later ones may match
+				}
+				if hi != nil && prefixCompare(childPath, hi) > 0 {
+					return false // all later children exceed hi
+				}
+				walk(child, childPath)
+				return true
+			})
+		}
+	}
+	walk(idx.root, nil)
+}
+
+// prefixCompare compares the path prefix p against bound b: -1 if every key
+// starting with p is < b, +1 if every such key is > b, 0 if undecided.
+func prefixCompare(p, b []byte) int {
+	n := min(len(p), len(b))
+	if c := bytes.Compare(p[:n], b[:n]); c != 0 {
+		return c
+	}
+	// p equals the first len(p) bytes of b (or b is a prefix of p).
+	if len(p) > len(b) {
+		return 1 // keys with prefix p are longer than b and share b as prefix
+	}
+	return 0
+}
+
+// IndexType implements storage.ChunkIndex.
+func (idx *ARTIndex) IndexType() string { return "ART" }
+
+// ColumnID implements storage.ChunkIndex.
+func (idx *ARTIndex) ColumnID() types.ColumnID { return idx.col }
+
+// Equals implements storage.ChunkIndex.
+func (idx *ARTIndex) Equals(v types.Value) []types.ChunkOffset {
+	key, ok := keyFromValue(idx.dt, v)
+	if !ok {
+		return nil
+	}
+	leaf := idx.lookup(key)
+	if leaf == nil {
+		return nil
+	}
+	out := make([]types.ChunkOffset, len(leaf.positions))
+	copy(out, leaf.positions)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Range implements storage.ChunkIndex.
+func (idx *ARTIndex) Range(lo, hi *types.Value) []types.ChunkOffset {
+	var loKey, hiKey []byte
+	if lo != nil {
+		k, ok := keyFromValue(idx.dt, *lo)
+		if !ok {
+			return nil
+		}
+		loKey = k
+	}
+	if hi != nil {
+		k, ok := keyFromValue(idx.dt, *hi)
+		if !ok {
+			return nil
+		}
+		hiKey = k
+	}
+	var out []types.ChunkOffset
+	idx.rangeScan(loKey, hiKey, &out)
+	return out
+}
+
+// MemoryUsage implements storage.ChunkIndex.
+func (idx *ARTIndex) MemoryUsage() int64 { return idx.memory }
+
+func (idx *ARTIndex) computeMemory(node artNode) int64 {
+	switch n := node.(type) {
+	case nil:
+		return 0
+	case *artLeaf:
+		return int64(len(n.key)) + int64(len(n.positions))*4 + 48
+	default:
+		var sum int64
+		switch nn := node.(type) {
+		case *artNode4:
+			sum = 4*16 + int64(len(nn.prefix)) + 16
+		case *artNode16:
+			sum = 16*17 + int64(len(nn.prefix)) + 16
+		case *artNode48:
+			sum = 256 + 48*16 + int64(len(nn.prefix)) + 16
+		case *artNode256:
+			sum = 256*16 + int64(len(nn.prefix)) + 16
+		}
+		forEachChild(node, func(_ byte, child artNode) bool {
+			sum += idx.computeMemory(child)
+			return true
+		})
+		return sum
+	}
+}

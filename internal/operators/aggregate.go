@@ -1,0 +1,432 @@
+package operators
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Aggregate is the hash-based grouping/aggregation operator. Group keys are
+// the evaluated GROUP BY expressions; aggregate states are updated chunk by
+// chunk. Without GROUP BY a single group covers all rows (and exists even
+// for empty inputs, per SQL).
+type Aggregate struct {
+	GroupBy []expression.Expression
+	Aggs    []*expression.Aggregate
+	Names   []string
+	Types   []types.DataType
+	input   Operator
+}
+
+// NewAggregate builds the operator; names/types cover group-by columns then
+// aggregates.
+func NewAggregate(in Operator, groupBy []expression.Expression, aggs []*expression.Aggregate, names []string, dts []types.DataType) *Aggregate {
+	return &Aggregate{GroupBy: groupBy, Aggs: aggs, Names: names, Types: dts, input: in}
+}
+
+// Name implements Operator.
+func (op *Aggregate) Name() string {
+	var parts []string
+	for _, g := range op.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, a := range op.Aggs {
+		parts = append(parts, a.String())
+	}
+	return "Aggregate(" + strings.Join(parts, ", ") + ")"
+}
+
+// Inputs implements Operator.
+func (op *Aggregate) Inputs() []Operator { return []Operator{op.input} }
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	sum      float64
+	sumInt   int64
+	count    int64
+	min, max types.Value
+	distinct map[types.Value]struct{}
+	seen     bool
+}
+
+type group struct {
+	keys   []types.Value
+	states []aggState
+}
+
+// chunkGroups is the partial aggregation of one chunk.
+type chunkGroups struct {
+	groups map[string]*group
+	order  []string
+	err    error
+}
+
+// Run implements Operator: per-chunk partial aggregation (parallel under a
+// multi-worker scheduler), then a sequential merge — the two-phase shape
+// that makes chunked tables an "inherent partitioning" for multiprocessing
+// (paper §2.2).
+func (op *Aggregate) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	input := inputs[0]
+	chunks := input.Chunks()
+	partials := make([]chunkGroups, len(chunks))
+
+	jobs := make([]func(), len(chunks))
+	for ci, c := range chunks {
+		ci, c := ci, c
+		jobs[ci] = func() {
+			partials[ci] = op.aggregateChunk(ctx, input, c)
+		}
+	}
+	ctx.runJobs(jobs)
+
+	groups := make(map[string]*group)
+	var order []string // deterministic output order (first appearance)
+	for _, p := range partials {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for _, key := range p.order {
+			partial := p.groups[key]
+			g, ok := groups[key]
+			if !ok {
+				groups[key] = partial
+				order = append(order, key)
+				continue
+			}
+			for i := range g.states {
+				mergeState(&g.states[i], &partial.states[i], op.Aggs[i])
+			}
+		}
+	}
+
+	// SQL: aggregation without GROUP BY always yields one row.
+	if len(op.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{states: make([]aggState, len(op.Aggs))}
+		order = append(order, "")
+	}
+
+	return op.buildOutput(groups, order)
+}
+
+func (op *Aggregate) aggregateChunk(ctx *ExecContext, input *storage.Table, c *storage.Chunk) chunkGroups {
+	out := chunkGroups{groups: make(map[string]*group)}
+	n := c.Size()
+	if n == 0 {
+		return out
+	}
+	ec := ctx.evalContext(input, c, n)
+
+	keyVecs := make([]*expression.Vector, len(op.GroupBy))
+	for i, g := range op.GroupBy {
+		v, err := expression.Evaluate(g, ec)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		keyVecs[i] = v
+	}
+	argVecs := make([]*expression.Vector, len(op.Aggs))
+	for i, a := range op.Aggs {
+		if a.Arg == nil {
+			continue
+		}
+		v, err := expression.Evaluate(a.Arg, ec)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		argVecs[i] = v
+	}
+
+	// Pass 1: assign every row to its group.
+	groupOf := make([]*group, n)
+	var keyBuf strings.Builder
+	for row := 0; row < n; row++ {
+		keyBuf.Reset()
+		keys := make([]types.Value, len(op.GroupBy))
+		for i, kv := range keyVecs {
+			val := kv.ValueAt(row)
+			keys[i] = val
+			// NULL group keys compare equal in GROUP BY.
+			keyBuf.WriteByte(byte('0' + val.Type))
+			keyBuf.WriteString(val.String())
+			keyBuf.WriteByte(0)
+		}
+		key := keyBuf.String()
+		g, ok := out.groups[key]
+		if !ok {
+			g = &group{keys: keys, states: make([]aggState, len(op.Aggs))}
+			out.groups[key] = g
+			out.order = append(out.order, key)
+		}
+		groupOf[row] = g
+	}
+
+	// Pass 2: one typed column pass per aggregate — the monomorphic inner
+	// loops avoid per-row Value boxing (the same static-dispatch idea as
+	// the scan specializations).
+	for i, agg := range op.Aggs {
+		updateColumn(i, agg, argVecs[i], groupOf, n)
+	}
+	return out
+}
+
+// updateColumn folds one aggregate's argument column into the group states.
+func updateColumn(idx int, agg *expression.Aggregate, arg *expression.Vector, groupOf []*group, n int) {
+	if agg.Fn == expression.AggCountStar {
+		for row := 0; row < n; row++ {
+			groupOf[row].states[idx].count++
+		}
+		return
+	}
+	switch {
+	case arg.DT == types.TypeFloat64 && (agg.Fn == expression.AggSum || agg.Fn == expression.AggAvg):
+		vals, nulls := arg.F, arg.Nulls
+		for row := 0; row < n; row++ {
+			if nulls != nil && nulls[row] {
+				continue
+			}
+			st := &groupOf[row].states[idx]
+			st.sum += vals[row]
+			st.count++
+			st.seen = true
+		}
+	case arg.DT == types.TypeInt64 && (agg.Fn == expression.AggSum || agg.Fn == expression.AggAvg):
+		vals, nulls := arg.I, arg.Nulls
+		for row := 0; row < n; row++ {
+			if nulls != nil && nulls[row] {
+				continue
+			}
+			st := &groupOf[row].states[idx]
+			st.sum += float64(vals[row])
+			st.sumInt += vals[row]
+			st.count++
+			st.seen = true
+		}
+	case arg.DT == types.TypeFloat64 && (agg.Fn == expression.AggMin || agg.Fn == expression.AggMax):
+		vals, nulls := arg.F, arg.Nulls
+		isMin := agg.Fn == expression.AggMin
+		for row := 0; row < n; row++ {
+			if nulls != nil && nulls[row] {
+				continue
+			}
+			st := &groupOf[row].states[idx]
+			v := vals[row]
+			if !st.seen {
+				st.min, st.max = types.Float(v), types.Float(v)
+				st.seen = true
+				continue
+			}
+			if isMin {
+				if v < st.min.F {
+					st.min = types.Float(v)
+				}
+			} else if v > st.max.F {
+				st.max = types.Float(v)
+			}
+		}
+	case arg.DT == types.TypeInt64 && (agg.Fn == expression.AggMin || agg.Fn == expression.AggMax):
+		vals, nulls := arg.I, arg.Nulls
+		isMin := agg.Fn == expression.AggMin
+		for row := 0; row < n; row++ {
+			if nulls != nil && nulls[row] {
+				continue
+			}
+			st := &groupOf[row].states[idx]
+			v := vals[row]
+			if !st.seen {
+				st.min, st.max = types.Int(v), types.Int(v)
+				st.seen = true
+				continue
+			}
+			if isMin {
+				if v < st.min.I {
+					st.min = types.Int(v)
+				}
+			} else if v > st.max.I {
+				st.max = types.Int(v)
+			}
+		}
+	case agg.Fn == expression.AggCount && arg.Nulls == nil && arg.DT != types.TypeNull:
+		for row := 0; row < n; row++ {
+			groupOf[row].states[idx].count++
+		}
+	default:
+		// Dynamic fallback: strings, COUNT over nullable columns,
+		// COUNT DISTINCT.
+		for row := 0; row < n; row++ {
+			updateState(&groupOf[row].states[idx], agg, arg, row)
+		}
+	}
+}
+
+// mergeState folds a partial aggregate state into dst.
+func mergeState(dst, src *aggState, agg *expression.Aggregate) {
+	switch agg.Fn {
+	case expression.AggCountStar, expression.AggCount:
+		dst.count += src.count
+	case expression.AggCountDistinct:
+		if dst.distinct == nil {
+			dst.distinct = src.distinct
+		} else {
+			for v := range src.distinct {
+				dst.distinct[v] = struct{}{}
+			}
+		}
+	case expression.AggSum, expression.AggAvg:
+		dst.sum += src.sum
+		dst.sumInt += src.sumInt
+		dst.count += src.count
+		dst.seen = dst.seen || src.seen
+	case expression.AggMin:
+		if src.seen {
+			if !dst.seen {
+				dst.min = src.min
+				dst.seen = true
+			} else if c, ok := types.Compare(src.min, dst.min); ok && c < 0 {
+				dst.min = src.min
+			}
+		}
+	case expression.AggMax:
+		if src.seen {
+			if !dst.seen {
+				dst.max = src.max
+				dst.seen = true
+			} else if c, ok := types.Compare(src.max, dst.max); ok && c > 0 {
+				dst.max = src.max
+			}
+		}
+	}
+}
+
+func updateState(st *aggState, agg *expression.Aggregate, arg *expression.Vector, row int) {
+	if agg.Fn == expression.AggCountStar {
+		st.count++
+		return
+	}
+	val := arg.ValueAt(row)
+	if val.IsNull() {
+		return // aggregates skip NULL inputs
+	}
+	switch agg.Fn {
+	case expression.AggCount:
+		st.count++
+	case expression.AggCountDistinct:
+		if st.distinct == nil {
+			st.distinct = make(map[types.Value]struct{})
+		}
+		st.distinct[val] = struct{}{}
+	case expression.AggSum, expression.AggAvg:
+		st.count++
+		st.sum += val.AsFloat()
+		st.sumInt += val.AsInt()
+		st.seen = true
+	case expression.AggMin:
+		if !st.seen {
+			st.min = val
+			st.seen = true
+		} else if c, ok := types.Compare(val, st.min); ok && c < 0 {
+			st.min = val
+		}
+	case expression.AggMax:
+		if !st.seen {
+			st.max = val
+			st.seen = true
+		} else if c, ok := types.Compare(val, st.max); ok && c > 0 {
+			st.max = val
+		}
+	}
+}
+
+func (st *aggState) result(agg *expression.Aggregate, outType types.DataType) types.Value {
+	switch agg.Fn {
+	case expression.AggCountStar, expression.AggCount:
+		return types.Int(st.count)
+	case expression.AggCountDistinct:
+		return types.Int(int64(len(st.distinct)))
+	case expression.AggSum:
+		if !st.seen {
+			return types.NullValue
+		}
+		if outType == types.TypeInt64 {
+			return types.Int(st.sumInt)
+		}
+		return types.Float(st.sum)
+	case expression.AggAvg:
+		if st.count == 0 {
+			return types.NullValue
+		}
+		return types.Float(st.sum / float64(st.count))
+	case expression.AggMin:
+		if !st.seen {
+			return types.NullValue
+		}
+		return st.min
+	case expression.AggMax:
+		if !st.seen {
+			return types.NullValue
+		}
+		return st.max
+	default:
+		return types.NullValue
+	}
+}
+
+func (op *Aggregate) buildOutput(groups map[string]*group, order []string) (*storage.Table, error) {
+	nCols := len(op.GroupBy) + len(op.Aggs)
+	if len(op.Names) != nCols || len(op.Types) != nCols {
+		return nil, fmt.Errorf("operators: aggregate schema mismatch")
+	}
+	defs := make([]storage.ColumnDefinition, nCols)
+	for i := 0; i < nCols; i++ {
+		dt := op.Types[i]
+		if dt == types.TypeNull {
+			dt = types.TypeInt64
+		}
+		defs[i] = storage.ColumnDefinition{Name: op.Names[i], Type: dt, Nullable: true}
+	}
+	out := storage.NewTable("", defs, max(len(groups), 1), false)
+	row := make([]types.Value, nCols)
+	for _, key := range order {
+		g := groups[key]
+		for i := range op.GroupBy {
+			row[i] = coerce(g.keys[i], defs[i].Type)
+		}
+		for i, agg := range op.Aggs {
+			row[len(op.GroupBy)+i] = coerce(g.states[i].result(agg, op.Types[len(op.GroupBy)+i]), defs[len(op.GroupBy)+i].Type)
+		}
+		if _, err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
+}
+
+// coerce adapts a value to the declared column type (int sums into float
+// columns and vice versa).
+func coerce(v types.Value, want types.DataType) types.Value {
+	if v.IsNull() || v.Type == want {
+		return v
+	}
+	switch want {
+	case types.TypeFloat64:
+		if v.Type.IsNumeric() {
+			return types.Float(v.AsFloat())
+		}
+	case types.TypeInt64:
+		if v.Type == types.TypeFloat64 && v.F == math.Trunc(v.F) {
+			return types.Int(int64(v.F))
+		}
+		if v.Type == types.TypeBool {
+			return types.Int(v.I)
+		}
+	case types.TypeString:
+		return types.Str(v.String())
+	}
+	return v
+}

@@ -1,0 +1,257 @@
+package operators
+
+import (
+	"fmt"
+
+	"hyrise/internal/concurrency"
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Insert appends literal rows to a stored table. Within a transaction, the
+// rows are stamped with the transaction id and become visible at commit;
+// without MVCC they are visible immediately.
+type Insert struct {
+	TableName string
+	Columns   []string // empty = declaration order
+	Rows      [][]expression.Expression
+}
+
+// Name implements Operator.
+func (op *Insert) Name() string {
+	return fmt.Sprintf("Insert(%s, %d rows)", op.TableName, len(op.Rows))
+}
+
+// Inputs implements Operator.
+func (op *Insert) Inputs() []Operator { return nil }
+
+// Run implements Operator.
+func (op *Insert) Run(ctx *ExecContext, _ []*storage.Table) (*storage.Table, error) {
+	table, err := ctx.SM.GetTable(op.TableName)
+	if err != nil {
+		return nil, err
+	}
+	defs := table.ColumnDefinitions()
+
+	// Map the statement's column list to table positions.
+	colIdx := make([]int, len(defs))
+	if len(op.Columns) == 0 {
+		for i := range colIdx {
+			colIdx[i] = i
+		}
+	} else {
+		for i := range colIdx {
+			colIdx[i] = -1
+		}
+		for stmtPos, name := range op.Columns {
+			id, err := table.ColumnID(name)
+			if err != nil {
+				return nil, err
+			}
+			colIdx[id] = stmtPos
+		}
+	}
+
+	ec := &expression.Context{N: 1, Params: ctx.Params}
+	ctx.installSubqueryExecutors(ec)
+	inserted := 0
+	for _, row := range op.Rows {
+		if len(op.Columns) != 0 && len(row) != len(op.Columns) {
+			return nil, fmt.Errorf("operators: insert row has %d values, column list has %d", len(row), len(op.Columns))
+		}
+		if len(op.Columns) == 0 && len(row) != len(defs) {
+			return nil, fmt.Errorf("operators: insert row has %d values, table has %d columns", len(row), len(defs))
+		}
+		vals := make([]types.Value, len(defs))
+		for tablePos, d := range defs {
+			src := colIdx[tablePos]
+			if len(op.Columns) == 0 {
+				src = tablePos
+			}
+			if src < 0 {
+				vals[tablePos] = types.NullValue
+				continue
+			}
+			vec, err := expression.Evaluate(row[src], ec)
+			if err != nil {
+				return nil, err
+			}
+			vals[tablePos] = coerce(vec.ValueAt(0), d.Type)
+		}
+		rid, err := table.AppendRow(vals)
+		if err != nil {
+			return nil, err
+		}
+		if table.UsesMvcc() {
+			chunk := table.GetChunk(rid.Chunk)
+			if ctx.Tx != nil {
+				ctx.Tx.RegisterInsert(chunk, rid.Offset)
+			} else {
+				concurrency.MarkRowCommitted(chunk, rid.Offset)
+			}
+		}
+		inserted++
+	}
+	return rowCountTable(inserted), nil
+}
+
+// Delete invalidates the rows produced by its input (a reference plan over
+// the target table). Updates and deletes are "implemented in an insert-only
+// fashion as invalidations and reinsertions" (paper §2.8).
+type Delete struct {
+	TableName string
+	input     Operator
+}
+
+// NewDelete builds a delete.
+func NewDelete(table string, in Operator) *Delete { return &Delete{TableName: table, input: in} }
+
+// Name implements Operator.
+func (op *Delete) Name() string { return "Delete(" + op.TableName + ")" }
+
+// Inputs implements Operator.
+func (op *Delete) Inputs() []Operator { return []Operator{op.input} }
+
+// Run implements Operator.
+func (op *Delete) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	if ctx.Tx == nil {
+		return nil, fmt.Errorf("operators: DELETE requires a transaction")
+	}
+	refs, err := collectBaseRows(inputs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		if err := ctx.Tx.TryInvalidate(r.chunk, r.offset); err != nil {
+			return nil, err
+		}
+	}
+	return rowCountTable(len(refs)), nil
+}
+
+// Update is delete + reinsert: for every input row, the original values are
+// fetched, the SET expressions applied, the old version invalidated, and
+// the new version appended.
+type Update struct {
+	TableName  string
+	SetColumns []string
+	SetExprs   []expression.Expression
+	input      Operator
+}
+
+// NewUpdate builds an update.
+func NewUpdate(table string, cols []string, exprs []expression.Expression, in Operator) *Update {
+	return &Update{TableName: table, SetColumns: cols, SetExprs: exprs, input: in}
+}
+
+// Name implements Operator.
+func (op *Update) Name() string { return "Update(" + op.TableName + ")" }
+
+// Inputs implements Operator.
+func (op *Update) Inputs() []Operator { return []Operator{op.input} }
+
+// Run implements Operator.
+func (op *Update) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	if ctx.Tx == nil {
+		return nil, fmt.Errorf("operators: UPDATE requires a transaction")
+	}
+	input := inputs[0]
+	table, err := ctx.SM.GetTable(op.TableName)
+	if err != nil {
+		return nil, err
+	}
+	setIdx := make([]types.ColumnID, len(op.SetColumns))
+	for i, name := range op.SetColumns {
+		id, err := table.ColumnID(name)
+		if err != nil {
+			return nil, err
+		}
+		setIdx[i] = id
+	}
+
+	refs, err := collectBaseRows(input)
+	if err != nil {
+		return nil, err
+	}
+
+	// Evaluate SET expressions over the input rows (chunk-wise), then apply
+	// invalidate+insert row by row.
+	updated := 0
+	rowCursor := 0
+	for _, c := range input.Chunks() {
+		n := c.Size()
+		if n == 0 {
+			continue
+		}
+		ec := ctx.evalContext(input, c, n)
+		newVals := make([]*expression.Vector, len(op.SetExprs))
+		for i, e := range op.SetExprs {
+			v, err := expression.Evaluate(e, ec)
+			if err != nil {
+				return nil, err
+			}
+			newVals[i] = v
+		}
+		for row := 0; row < n; row++ {
+			ref := refs[rowCursor]
+			rowCursor++
+			// Build the new version: original values with SET overrides.
+			vals := make([]types.Value, table.ColumnCount())
+			for col := range vals {
+				vals[col] = ref.chunk.GetSegment(types.ColumnID(col)).ValueAt(ref.offset)
+			}
+			for i, id := range setIdx {
+				vals[id] = coerce(newVals[i].ValueAt(row), table.ColumnDefinitions()[id].Type)
+			}
+			if err := ctx.Tx.TryInvalidate(ref.chunk, ref.offset); err != nil {
+				return nil, err
+			}
+			rid, err := table.AppendRow(vals)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Tx.RegisterInsert(table.GetChunk(rid.Chunk), rid.Offset)
+			updated++
+		}
+	}
+	return rowCountTable(updated), nil
+}
+
+type baseRow struct {
+	chunk  *storage.Chunk
+	offset types.ChunkOffset
+}
+
+// collectBaseRows resolves every row of a reference table to the base chunk
+// holding it (the chunk carries the MVCC columns to stamp).
+func collectBaseRows(t *storage.Table) ([]baseRow, error) {
+	var out []baseRow
+	for _, c := range t.Chunks() {
+		n := c.Size()
+		if n == 0 {
+			continue
+		}
+		ref, ok := c.GetSegment(0).(*storage.ReferenceSegment)
+		if !ok {
+			return nil, fmt.Errorf("operators: DML source must be a reference plan over the target table")
+		}
+		base := ref.ReferencedTable()
+		for _, rid := range ref.PosList() {
+			if rid.IsNull() {
+				continue
+			}
+			out = append(out, baseRow{chunk: base.GetChunk(rid.Chunk), offset: rid.Offset})
+		}
+		_ = n
+	}
+	return out, nil
+}
+
+// rowCountTable is the result of DML statements: a single-cell table with
+// the number of affected rows.
+func rowCountTable(n int) *storage.Table {
+	t := storage.NewTable("", []storage.ColumnDefinition{{Name: "rows", Type: types.TypeInt64}}, 1, false)
+	_, _ = t.AppendRow([]types.Value{types.Int(int64(n))})
+	return t
+}

@@ -1,0 +1,357 @@
+package operators
+
+import (
+	"fmt"
+	"strings"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// JoinMode enumerates physical join semantics.
+type JoinMode uint8
+
+// Join modes. Semi/Anti output left columns only.
+const (
+	JoinModeInner JoinMode = iota
+	JoinModeLeft
+	JoinModeSemi
+	JoinModeAnti
+	JoinModeCross
+)
+
+// String names the mode.
+func (m JoinMode) String() string {
+	switch m {
+	case JoinModeInner:
+		return "Inner"
+	case JoinModeLeft:
+		return "Left"
+	case JoinModeSemi:
+		return "Semi"
+	case JoinModeAnti:
+		return "Anti"
+	case JoinModeCross:
+		return "Cross"
+	default:
+		return "?"
+	}
+}
+
+// joinCommon holds what all join implementations share: the sides, the
+// residual predicates (bound against the concatenated left++right schema),
+// and output assembly.
+type joinCommon struct {
+	Mode      JoinMode
+	Residuals []expression.Expression
+	left      Operator
+	right     Operator
+}
+
+// Inputs implements Operator.
+func (j *joinCommon) Inputs() []Operator { return []Operator{j.left, j.right} }
+
+// gatherColumn materializes one column of a table at arbitrary positions
+// (possibly spanning chunks, possibly containing NullRowID).
+func gatherColumn(t *storage.Table, col types.ColumnID, rows types.PosList) *expression.Vector {
+	ref := storage.NewReferenceSegment(t, col, rows)
+	return expression.VectorFromSegment(ref)
+}
+
+// filterResiduals evaluates the residual predicates over candidate pairs
+// and returns the surviving pair indices. Columns 0..nLeft-1 resolve into
+// the left table, the rest into the right table.
+func (j *joinCommon) filterResiduals(ctx *ExecContext, leftT, rightT *storage.Table, leftRows, rightRows types.PosList) ([]int, error) {
+	n := len(leftRows)
+	if n == 0 || len(j.Residuals) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	nLeft := leftT.ColumnCount()
+	cache := make(map[int]*expression.Vector)
+	ec := &expression.Context{
+		N:      n,
+		Params: ctx.Params,
+		Column: func(i int) (*expression.Vector, error) {
+			if v, ok := cache[i]; ok {
+				return v, nil
+			}
+			var v *expression.Vector
+			if i < nLeft {
+				v = gatherColumn(leftT, types.ColumnID(i), leftRows)
+			} else {
+				v = gatherColumn(rightT, types.ColumnID(i-nLeft), rightRows)
+			}
+			cache[i] = v
+			return v, nil
+		},
+	}
+	ctx.installSubqueryExecutors(ec)
+	keep, err := expression.EvaluateBool(expression.JoinConjunction(j.Residuals), ec)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// assemble builds the join output table for the surviving pairs.
+// For Left joins, unmatchedLeft lists left rows to NULL-extend.
+func (j *joinCommon) assemble(leftT, rightT *storage.Table, leftRows, rightRows types.PosList, unmatchedLeft types.PosList) (*storage.Table, error) {
+	switch j.Mode {
+	case JoinModeSemi, JoinModeAnti:
+		return buildReferenceTable(leftT, []types.PosList{leftRows}, nil), nil
+	}
+	if j.Mode == JoinModeLeft && len(unmatchedLeft) > 0 {
+		leftRows = append(leftRows, unmatchedLeft...)
+		nulls := make(types.PosList, len(unmatchedLeft))
+		for i := range nulls {
+			nulls[i] = types.NullRowID
+		}
+		rightRows = append(rightRows, nulls...)
+	}
+	defs := make([]storage.ColumnDefinition, 0, leftT.ColumnCount()+rightT.ColumnCount())
+	defs = append(defs, leftT.ColumnDefinitions()...)
+	for _, d := range rightT.ColumnDefinitions() {
+		d.Nullable = d.Nullable || j.Mode == JoinModeLeft
+		defs = append(defs, d)
+	}
+	if len(leftRows) == 0 {
+		return storage.NewReferenceTable(defs, nil), nil
+	}
+	leftChunk := subsetChunk(leftT, leftRows)
+	rightChunk := subsetChunk(rightT, rightRows)
+	segments := make([]storage.Segment, 0, len(defs))
+	for i := 0; i < leftT.ColumnCount(); i++ {
+		segments = append(segments, leftChunk.GetSegment(types.ColumnID(i)))
+	}
+	for i := 0; i < rightT.ColumnCount(); i++ {
+		segments = append(segments, rightChunk.GetSegment(types.ColumnID(i)))
+	}
+	return storage.NewReferenceTable(defs, []*storage.Chunk{storage.NewChunk(segments, nil)}), nil
+}
+
+// evalKeyOverTable evaluates a key expression for every row of a table.
+func evalKeyOverTable(ctx *ExecContext, t *storage.Table, key expression.Expression) ([]types.Value, types.PosList, error) {
+	total := t.RowCount()
+	vals := make([]types.Value, 0, total)
+	rows := make(types.PosList, 0, total)
+	for ci, c := range t.Chunks() {
+		n := c.Size()
+		if n == 0 {
+			continue
+		}
+		ec := ctx.evalContext(t, c, n)
+		v, err := expression.Evaluate(key, ec)
+		if err != nil {
+			return nil, nil, err
+		}
+		for row := 0; row < n; row++ {
+			vals = append(vals, v.ValueAt(row))
+			rows = append(rows, types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(row)})
+		}
+	}
+	return vals, rows, nil
+}
+
+// canonicalKey normalizes numeric values so int 5 and float 5.0 hash alike.
+func canonicalKey(v types.Value) types.Value {
+	if v.Type == types.TypeFloat64 && v.F == float64(int64(v.F)) {
+		return types.Int(int64(v.F))
+	}
+	return v
+}
+
+// compositeKey renders a tuple of key values into one hashable string; any
+// NULL component disqualifies the row (NULL never joins).
+func compositeKey(sb *strings.Builder, vals []types.Value) (string, bool) {
+	sb.Reset()
+	for _, v := range vals {
+		if v.IsNull() {
+			return "", false
+		}
+		c := canonicalKey(v)
+		sb.WriteByte(byte('0' + c.Type))
+		sb.WriteString(c.String())
+		sb.WriteByte(0)
+	}
+	return sb.String(), true
+}
+
+// evalKeysOverTable evaluates several key expressions for every row,
+// chunk-parallel under a multi-worker scheduler.
+func evalKeysOverTable(ctx *ExecContext, t *storage.Table, keys []expression.Expression) ([][]types.Value, types.PosList, error) {
+	chunks := t.Chunks()
+	type chunkKeys struct {
+		vals [][]types.Value
+		rows types.PosList
+		err  error
+	}
+	partials := make([]chunkKeys, len(chunks))
+	jobs := make([]func(), len(chunks))
+	for ci, c := range chunks {
+		ci, c := ci, c
+		jobs[ci] = func() {
+			n := c.Size()
+			if n == 0 {
+				return
+			}
+			ec := ctx.evalContext(t, c, n)
+			vecs := make([]*expression.Vector, len(keys))
+			for i, k := range keys {
+				v, err := expression.Evaluate(k, ec)
+				if err != nil {
+					partials[ci].err = err
+					return
+				}
+				vecs[i] = v
+			}
+			vals := make([][]types.Value, n)
+			rows := make(types.PosList, n)
+			for row := 0; row < n; row++ {
+				tuple := make([]types.Value, len(keys))
+				for i, v := range vecs {
+					tuple[i] = v.ValueAt(row)
+				}
+				vals[row] = tuple
+				rows[row] = types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(row)}
+			}
+			partials[ci].vals = vals
+			partials[ci].rows = rows
+		}
+	}
+	ctx.runJobs(jobs)
+
+	total := t.RowCount()
+	vals := make([][]types.Value, 0, total)
+	rows := make(types.PosList, 0, total)
+	for _, p := range partials {
+		if p.err != nil {
+			return nil, nil, p.err
+		}
+		vals = append(vals, p.vals...)
+		rows = append(rows, p.rows...)
+	}
+	return vals, rows, nil
+}
+
+// HashJoin is the equi-join: it builds a hash table over the right input's
+// keys and probes it with the left input (cf. paper §2.1: joins are
+// implemented as sort-merge, hash, or nested-loop joins, chosen per plan).
+// Composite keys (several equi predicates, e.g. TPC-H Q9's
+// lineitem-partsupp join) hash as one tuple.
+type HashJoin struct {
+	joinCommon
+	LeftKeys  []expression.Expression // bound to the left schema
+	RightKeys []expression.Expression // bound to the right schema
+}
+
+// NewHashJoin builds a single-key hash join.
+func NewHashJoin(mode JoinMode, left, right Operator, leftKey, rightKey expression.Expression, residuals []expression.Expression) *HashJoin {
+	return NewMultiKeyHashJoin(mode, left, right, []expression.Expression{leftKey}, []expression.Expression{rightKey}, residuals)
+}
+
+// NewMultiKeyHashJoin builds a hash join over composite keys.
+func NewMultiKeyHashJoin(mode JoinMode, left, right Operator, leftKeys, rightKeys []expression.Expression, residuals []expression.Expression) *HashJoin {
+	return &HashJoin{
+		joinCommon: joinCommon{Mode: mode, Residuals: residuals, left: left, right: right},
+		LeftKeys:   leftKeys,
+		RightKeys:  rightKeys,
+	}
+}
+
+// Name implements Operator.
+func (j *HashJoin) Name() string {
+	pairs := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		pairs[i] = fmt.Sprintf("%s = %s", j.LeftKeys[i], j.RightKeys[i])
+	}
+	return fmt.Sprintf("HashJoin(%s, %s)", j.Mode, strings.Join(pairs, " AND "))
+}
+
+// Run implements Operator.
+func (j *HashJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	leftT, rightT := inputs[0], inputs[1]
+
+	// Build phase over the right input.
+	rightVals, rightRows, err := evalKeysOverTable(ctx, rightT, j.RightKeys)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	ht := make(map[string][]int32, len(rightVals))
+	for i, tuple := range rightVals {
+		k, ok := compositeKey(&sb, tuple)
+		if !ok {
+			continue
+		}
+		ht[k] = append(ht[k], int32(i))
+	}
+
+	// Probe phase over the left input.
+	leftVals, leftRows, err := evalKeysOverTable(ctx, leftT, j.LeftKeys)
+	if err != nil {
+		return nil, err
+	}
+	var pairLeft, pairRight types.PosList
+	var pairLeftIdx []int32
+	for i, tuple := range leftVals {
+		k, ok := compositeKey(&sb, tuple)
+		if !ok {
+			continue
+		}
+		for _, ri := range ht[k] {
+			pairLeft = append(pairLeft, leftRows[i])
+			pairRight = append(pairRight, rightRows[ri])
+			pairLeftIdx = append(pairLeftIdx, int32(i))
+		}
+	}
+
+	surviving, err := j.filterResiduals(ctx, leftT, rightT, pairLeft, pairRight)
+	if err != nil {
+		return nil, err
+	}
+	return j.finish(leftT, rightT, leftRows, pairLeft, pairRight, pairLeftIdx, surviving)
+}
+
+// finish translates surviving pairs into the mode-specific output.
+func (j *joinCommon) finish(leftT, rightT *storage.Table, leftRows types.PosList, pairLeft, pairRight types.PosList, pairLeftIdx []int32, surviving []int) (*storage.Table, error) {
+	matched := make([]bool, len(leftRows))
+	outLeft := make(types.PosList, 0, len(surviving))
+	outRight := make(types.PosList, 0, len(surviving))
+	for _, p := range surviving {
+		matched[pairLeftIdx[p]] = true
+		outLeft = append(outLeft, pairLeft[p])
+		outRight = append(outRight, pairRight[p])
+	}
+	switch j.Mode {
+	case JoinModeSemi, JoinModeAnti:
+		var keep types.PosList
+		want := j.Mode == JoinModeSemi
+		for i, m := range matched {
+			if m == want {
+				keep = append(keep, leftRows[i])
+			}
+		}
+		return j.assemble(leftT, rightT, keep, nil, nil)
+	case JoinModeLeft:
+		var unmatched types.PosList
+		for i, m := range matched {
+			if !m {
+				unmatched = append(unmatched, leftRows[i])
+			}
+		}
+		return j.assemble(leftT, rightT, outLeft, outRight, unmatched)
+	default:
+		return j.assemble(leftT, rightT, outLeft, outRight, nil)
+	}
+}

@@ -1,0 +1,239 @@
+// Package operators implements Hyrise's physical query plan (paper §2.6):
+// concrete, executable implementations of the logical operators, produced
+// from an optimized LQP by the LQP-to-PQP translator. Operators follow the
+// operator-at-a-time model: each computes its full output table — usually a
+// reference table of positions, avoiding materialization — before its
+// successors run. The scheduler executes the PQP as a task DAG (§2.9).
+package operators
+
+import (
+	"fmt"
+	"sync"
+
+	"hyrise/internal/concurrency"
+	"hyrise/internal/encoding"
+	"hyrise/internal/expression"
+	"hyrise/internal/scheduler"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Operator is one node of the physical query plan.
+type Operator interface {
+	// Name identifies the operator kind for plan visualization.
+	Name() string
+	// Inputs returns the child operators.
+	Inputs() []Operator
+	// Run computes the output given the already-computed input tables.
+	Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error)
+}
+
+// ExecContext carries the per-execution state: the transaction, the
+// scheduler, and the subquery result cache.
+type ExecContext struct {
+	// Tx is the active transaction; nil when MVCC is disabled.
+	Tx *concurrency.TransactionContext
+	// Scheduler runs operator tasks and intra-operator jobs; nil means
+	// immediate inline execution.
+	Scheduler scheduler.Scheduler
+	// SM resolves table names (GetTable, DML).
+	SM *storage.StorageManager
+	// Params holds values for Parameter expressions (correlated subquery
+	// invocations bind them per outer row).
+	Params []types.Value
+	// DynamicAccess forces the per-value interface access path everywhere
+	// (no specialized scans, no static materialization) — the
+	// "Hyrise1-style runtime abstraction" baseline of Figure 3b/Figure 6.
+	DynamicAccess bool
+
+	// subqueryCache memoizes subquery executions by (id, params) so
+	// correlated subqueries re-execute only once per distinct parameter
+	// combination.
+	subqueryCache sync.Map
+}
+
+// NewExecContext creates an execution context.
+func NewExecContext(sm *storage.StorageManager, sched scheduler.Scheduler, tx *concurrency.TransactionContext) *ExecContext {
+	return &ExecContext{SM: sm, Scheduler: sched, Tx: tx}
+}
+
+// child derives a context for a subquery invocation with bound parameters.
+// The subquery cache is shared so nested invocations memoize globally per
+// execution.
+func (ctx *ExecContext) child(params []types.Value) *ExecContext {
+	return &ExecContext{
+		Tx:            ctx.Tx,
+		Scheduler:     ctx.Scheduler,
+		SM:            ctx.SM,
+		Params:        params,
+		DynamicAccess: ctx.DynamicAccess,
+	}
+}
+
+// runJobs executes the closures, in parallel when a multi-worker scheduler
+// is available.
+func (ctx *ExecContext) runJobs(jobs []func()) {
+	if ctx.Scheduler == nil || ctx.Scheduler.WorkerCount() <= 1 {
+		for _, j := range jobs {
+			j()
+		}
+		return
+	}
+	scheduler.RunJobs(ctx.Scheduler, jobs)
+}
+
+// Execute runs a physical plan: every operator becomes a task whose
+// dependencies are its inputs; tasks run through the context's scheduler
+// (or inline without one) and the root's output is returned.
+func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
+	results := make(map[Operator]*storage.Table)
+	errs := make(map[Operator]error)
+	var mu sync.Mutex
+
+	var tasks []*scheduler.Task
+	taskOf := make(map[Operator]*scheduler.Task)
+
+	var build func(op Operator) *scheduler.Task
+	build = func(op Operator) *scheduler.Task {
+		if t, ok := taskOf[op]; ok {
+			return t
+		}
+		inputs := op.Inputs()
+		t := scheduler.NewTask(func() {
+			inTables := make([]*storage.Table, len(inputs))
+			mu.Lock()
+			failed := false
+			for i, in := range inputs {
+				if errs[in] != nil {
+					failed = true
+					break
+				}
+				inTables[i] = results[in]
+			}
+			mu.Unlock()
+			if failed {
+				mu.Lock()
+				errs[op] = fmt.Errorf("operators: input of %s failed", op.Name())
+				mu.Unlock()
+				return
+			}
+			out, err := op.Run(ctx, inTables)
+			mu.Lock()
+			results[op] = out
+			errs[op] = err
+			mu.Unlock()
+		}).Named(op.Name())
+		taskOf[op] = t
+		for _, in := range inputs {
+			t.DependsOn(build(in))
+		}
+		tasks = append(tasks, t)
+		return t
+	}
+	rootTask := build(root)
+
+	sched := ctx.Scheduler
+	if sched == nil {
+		sched = scheduler.NewImmediateScheduler()
+	}
+	sched.Schedule(tasks...)
+	rootTask.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Surface the deepest error (the original cause, not cascaded input
+	// failures).
+	for op, err := range errs {
+		if err != nil && len(op.Inputs()) == 0 {
+			return nil, err
+		}
+	}
+	var anyErr error
+	for op, err := range errs {
+		if err == nil {
+			continue
+		}
+		inputsOK := true
+		for _, in := range op.Inputs() {
+			if errs[in] != nil {
+				inputsOK = false
+			}
+		}
+		if inputsOK {
+			return nil, err
+		}
+		anyErr = err
+	}
+	if anyErr != nil {
+		return nil, anyErr
+	}
+	return results[root], nil
+}
+
+// PlanString renders a PQP tree for the console's visualize command.
+func PlanString(root Operator) string {
+	var sb []byte
+	var walk func(op Operator, depth int)
+	walk = func(op Operator, depth int) {
+		for i := 0; i < depth; i++ {
+			sb = append(sb, ' ', ' ')
+		}
+		sb = append(sb, op.Name()...)
+		sb = append(sb, '\n')
+		for _, in := range op.Inputs() {
+			walk(in, depth+1)
+		}
+	}
+	walk(root, 0)
+	return string(sb)
+}
+
+// dynamicVector materializes a segment through the per-value interface
+// path (Segment.ValueAt), the dynamic-polymorphism baseline.
+func dynamicVector(seg storage.Segment) *expression.Vector {
+	n := seg.Len()
+	pos := make([]types.ChunkOffset, n)
+	for i := range pos {
+		pos[i] = types.ChunkOffset(i)
+	}
+	switch seg.DataType() {
+	case types.TypeInt64:
+		vals, nulls := encoding.MaterializeDynamic[int64](seg, pos)
+		return expression.NewIntVector(vals, nulls)
+	case types.TypeFloat64:
+		vals, nulls := encoding.MaterializeDynamic[float64](seg, pos)
+		return expression.NewFloatVector(vals, nulls)
+	default:
+		vals, nulls := encoding.MaterializeDynamic[string](seg, pos)
+		return expression.NewStringVector(vals, nulls)
+	}
+}
+
+// evalContext builds an expression evaluation context over one chunk of a
+// table, with lazily materialized columns and subquery executors.
+func (ctx *ExecContext) evalContext(table *storage.Table, chunk *storage.Chunk, n int) *expression.Context {
+	cache := make(map[int]*expression.Vector)
+	ec := &expression.Context{
+		N:      n,
+		Params: ctx.Params,
+		Column: func(i int) (*expression.Vector, error) {
+			if v, ok := cache[i]; ok {
+				return v, nil
+			}
+			if chunk == nil || i >= chunk.ColumnCount() {
+				return nil, fmt.Errorf("operators: column %d out of range", i)
+			}
+			seg := chunk.GetSegment(types.ColumnID(i))
+			var v *expression.Vector
+			if ctx.DynamicAccess {
+				v = dynamicVector(seg)
+			} else {
+				v = expression.VectorFromSegment(seg)
+			}
+			cache[i] = v
+			return v, nil
+		},
+	}
+	ctx.installSubqueryExecutors(ec)
+	return ec
+}

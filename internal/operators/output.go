@@ -1,0 +1,143 @@
+package operators
+
+import (
+	"reflect"
+
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// This file builds operator outputs as reference tables: positions instead
+// of copies (paper §2.6, "operators do not need to perform expensive
+// materializations of intermediary results, but can also pass positional
+// references to the next operator").
+
+// subsetChunk builds one output chunk selecting the given rows of the input
+// table. Rows are addressed in *input* coordinates. For input columns that
+// are themselves reference segments, the positions are composed down to the
+// base table so reference chains stay shallow; composed position lists are
+// shared across columns whose inputs share the same PosList objects.
+func subsetChunk(input *storage.Table, rows types.PosList) *storage.Chunk {
+	nCols := input.ColumnCount()
+	segments := make([]storage.Segment, nCols)
+
+	type composeKey struct {
+		reprPtr uintptr // identity of the first referenced source PosList
+		table   *storage.Table
+	}
+	composed := make(map[composeKey]types.PosList)
+
+	// directPos is the identity case: output references input directly;
+	// shared across all non-composable columns.
+	var directPos types.PosList
+
+	for col := 0; col < nCols; col++ {
+		id := types.ColumnID(col)
+		base, refCol, reprPtr, ok := commonBase(input, id, rows)
+		if !ok {
+			if directPos == nil {
+				directPos = rows
+			}
+			segments[col] = storage.NewReferenceSegment(input, id, directPos)
+			continue
+		}
+		key := composeKey{reprPtr: reprPtr, table: base}
+		pos, cached := composed[key]
+		if !cached {
+			pos = make(types.PosList, len(rows))
+			for i, r := range rows {
+				if r.IsNull() {
+					pos[i] = types.NullRowID
+					continue
+				}
+				ref := input.GetChunk(r.Chunk).GetSegment(id).(*storage.ReferenceSegment)
+				pos[i] = ref.PosList()[r.Offset]
+			}
+			composed[key] = pos
+		}
+		segments[col] = storage.NewReferenceSegment(base, refCol, pos)
+	}
+	return storage.NewChunk(segments, nil)
+}
+
+// commonBase checks whether column id is stored as reference segments with
+// one common base table and referenced column across all chunks touched by
+// rows. It returns the base, the referenced column, and the identity of the
+// first source PosList (the compose-cache key: columns whose source chunks
+// share PosList objects produce identical composed lists).
+func commonBase(input *storage.Table, id types.ColumnID, rows types.PosList) (*storage.Table, types.ColumnID, uintptr, bool) {
+	var base *storage.Table
+	var refCol types.ColumnID
+	var reprPtr uintptr
+	seen := false
+	var lastChunk types.ChunkID
+	for _, r := range rows {
+		if r.IsNull() {
+			continue
+		}
+		if seen && r.Chunk == lastChunk {
+			continue // already inspected this chunk's segment
+		}
+		seg := input.GetChunk(r.Chunk).GetSegment(id)
+		ref, ok := seg.(*storage.ReferenceSegment)
+		if !ok {
+			return nil, 0, 0, false
+		}
+		if !seen {
+			base = ref.ReferencedTable()
+			refCol = ref.ReferencedColumn()
+			reprPtr = posListPtr(ref.PosList())
+			seen = true
+		} else if base != ref.ReferencedTable() || refCol != ref.ReferencedColumn() {
+			return nil, 0, 0, false
+		}
+		lastChunk = r.Chunk
+	}
+	if !seen {
+		return nil, 0, 0, false // all-NULL or empty: nothing to compose
+	}
+	return base, refCol, reprPtr, true
+}
+
+func posListPtr(p types.PosList) uintptr {
+	if len(p) == 0 {
+		return 0
+	}
+	return reflect.ValueOf(p).Pointer()
+}
+
+// buildReferenceTable assembles an output table from per-chunk row subsets
+// of the input. Empty chunks are dropped.
+func buildReferenceTable(input *storage.Table, rowsPerChunk []types.PosList, defs []storage.ColumnDefinition) *storage.Table {
+	if defs == nil {
+		defs = input.ColumnDefinitions()
+	}
+	var chunks []*storage.Chunk
+	for _, rows := range rowsPerChunk {
+		if len(rows) == 0 {
+			continue
+		}
+		chunks = append(chunks, subsetChunk(input, rows))
+	}
+	return storage.NewReferenceTable(defs, chunks)
+}
+
+// identityPositions lists all rows of a chunk in order.
+func identityPositions(chunkID types.ChunkID, n int) types.PosList {
+	out := make(types.PosList, n)
+	for i := range out {
+		out[i] = types.RowID{Chunk: chunkID, Offset: types.ChunkOffset(i)}
+	}
+	return out
+}
+
+// flattenRows lists every row of a table in order (chunk by chunk).
+func flattenRows(t *storage.Table) types.PosList {
+	out := make(types.PosList, 0, t.RowCount())
+	for ci, c := range t.Chunks() {
+		for o := 0; o < c.Size(); o++ {
+			out = append(out, types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(o)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// SortKey is one ORDER BY key for the physical sort.
+type SortKey struct {
+	Expr expression.Expression
+	Desc bool
+}
+
+// Sort orders its input by the keys. The output is a positional permutation
+// of the input (one reference chunk), so no data is copied. NULLs sort last
+// ascending and first descending (PostgreSQL defaults).
+type Sort struct {
+	Keys  []SortKey
+	input Operator
+}
+
+// NewSort builds a sort.
+func NewSort(in Operator, keys []SortKey) *Sort { return &Sort{Keys: keys, input: in} }
+
+// Name implements Operator.
+func (op *Sort) Name() string {
+	parts := make([]string, len(op.Keys))
+	for i, k := range op.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+// Inputs implements Operator.
+func (op *Sort) Inputs() []Operator { return []Operator{op.input} }
+
+// Run implements Operator.
+func (op *Sort) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	input := inputs[0]
+
+	// Materialize the key vectors for all rows, chunk by chunk.
+	total := input.RowCount()
+	rows := make(types.PosList, 0, total)
+	keyVals := make([][]types.Value, len(op.Keys)) // column-major
+	for i := range keyVals {
+		keyVals[i] = make([]types.Value, 0, total)
+	}
+	for ci, c := range input.Chunks() {
+		n := c.Size()
+		if n == 0 {
+			continue
+		}
+		ec := ctx.evalContext(input, c, n)
+		for ki, k := range op.Keys {
+			v, err := expression.Evaluate(k.Expr, ec)
+			if err != nil {
+				return nil, err
+			}
+			for row := 0; row < n; row++ {
+				keyVals[ki] = append(keyVals[ki], v.ValueAt(row))
+			}
+		}
+		for o := 0; o < n; o++ {
+			rows = append(rows, types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(o)})
+		}
+	}
+
+	perm := make([]int, len(rows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		for ki, k := range op.Keys {
+			va, vb := keyVals[ki][perm[a]], keyVals[ki][perm[b]]
+			c := compareWithNulls(va, vb)
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+
+	sorted := make(types.PosList, len(rows))
+	for i, p := range perm {
+		sorted[i] = rows[p]
+	}
+	return buildReferenceTable(input, []types.PosList{sorted}, nil), nil
+}
+
+// compareWithNulls orders values with SQL NULL placement: NULLs are treated
+// as larger than everything (last ascending, first descending, since the
+// caller inverts the comparison for DESC keys).
+func compareWithNulls(a, b types.Value) int {
+	aNull, bNull := a.IsNull(), b.IsNull()
+	switch {
+	case aNull && bNull:
+		return 0
+	case aNull:
+		return 1
+	case bNull:
+		return -1
+	}
+	c, ok := types.Compare(a, b)
+	if !ok {
+		return 0
+	}
+	return c
+}
+
+// Limit keeps the first N rows of its input.
+type Limit struct {
+	N     int64
+	input Operator
+}
+
+// NewLimit builds a limit.
+func NewLimit(in Operator, n int64) *Limit { return &Limit{N: n, input: in} }
+
+// Name implements Operator.
+func (op *Limit) Name() string { return fmt.Sprintf("Limit(%d)", op.N) }
+
+// Inputs implements Operator.
+func (op *Limit) Inputs() []Operator { return []Operator{op.input} }
+
+// Run implements Operator.
+func (op *Limit) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	input := inputs[0]
+	remaining := op.N
+	var rowsPerChunk []types.PosList
+	for ci, c := range input.Chunks() {
+		if remaining <= 0 {
+			break
+		}
+		take := int64(c.Size())
+		if take > remaining {
+			take = remaining
+		}
+		rowsPerChunk = append(rowsPerChunk, identityPositions(types.ChunkID(ci), int(take)))
+		remaining -= take
+	}
+	return buildReferenceTable(input, rowsPerChunk, nil), nil
+}

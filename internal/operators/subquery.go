@@ -1,0 +1,156 @@
+package operators
+
+import (
+	"fmt"
+	"strings"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Subquery execution (paper §2.6): subselects run as if they were
+// stand-alone queries. Non-correlated subqueries execute once; correlated
+// ones execute per distinct parameter combination, memoized in the
+// execution context — the memoization is what keeps the paper's
+// "placeholders are replaced with the correlated attributes during the
+// execution" strategy tractable.
+
+type subqueryResult struct {
+	scalar types.Value
+	set    *expression.ValueSet
+	exists bool
+	err    error
+}
+
+func subqueryKey(kind string, sub *expression.Subquery, params []types.Value) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:%d", kind, sub.ID)
+	for _, p := range params {
+		sb.WriteByte('|')
+		sb.WriteByte(byte('0' + p.Type))
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
+
+// installSubqueryExecutors wires the evaluator callbacks to physical plan
+// execution with memoization.
+func (ctx *ExecContext) installSubqueryExecutors(ec *expression.Context) {
+	ec.ExecScalarSubquery = func(sub *expression.Subquery, params []types.Value) (types.Value, error) {
+		key := subqueryKey("s", sub, params)
+		if cached, ok := ctx.subqueryCache.Load(key); ok {
+			r := cached.(*subqueryResult)
+			return r.scalar, r.err
+		}
+		out, err := ctx.runSubquery(sub, params)
+		r := &subqueryResult{err: err}
+		if err == nil {
+			r.scalar, r.err = scalarFromTable(out)
+		}
+		ctx.subqueryCache.Store(key, r)
+		return r.scalar, r.err
+	}
+	ec.ExecInSubquery = func(sub *expression.Subquery, params []types.Value) (*expression.ValueSet, error) {
+		key := subqueryKey("i", sub, params)
+		if cached, ok := ctx.subqueryCache.Load(key); ok {
+			r := cached.(*subqueryResult)
+			return r.set, r.err
+		}
+		out, err := ctx.runSubquery(sub, params)
+		r := &subqueryResult{err: err}
+		if err == nil {
+			r.set, r.err = valueSetFromTable(out)
+		}
+		ctx.subqueryCache.Store(key, r)
+		return r.set, r.err
+	}
+	ec.ExecExistsSubquery = func(sub *expression.Subquery, params []types.Value) (bool, error) {
+		key := subqueryKey("e", sub, params)
+		if cached, ok := ctx.subqueryCache.Load(key); ok {
+			r := cached.(*subqueryResult)
+			return r.exists, r.err
+		}
+		out, err := ctx.runSubquery(sub, params)
+		r := &subqueryResult{err: err}
+		if err == nil {
+			r.exists = out.RowCount() > 0
+		}
+		ctx.subqueryCache.Store(key, r)
+		return r.exists, r.err
+	}
+}
+
+func (ctx *ExecContext) runSubquery(sub *expression.Subquery, params []types.Value) (*storage.Table, error) {
+	plan, ok := sub.Plan.(Operator)
+	if !ok {
+		return nil, fmt.Errorf("operators: subquery %d holds %T, not a physical plan", sub.ID, sub.Plan)
+	}
+	return Execute(plan, ctx.child(params))
+}
+
+// scalarFromTable extracts the single value a scalar subquery must produce.
+// Zero rows yield NULL (SQL semantics); more than one row is an error.
+func scalarFromTable(t *storage.Table) (types.Value, error) {
+	switch {
+	case t.ColumnCount() < 1:
+		return types.NullValue, fmt.Errorf("operators: scalar subquery with no columns")
+	case t.RowCount() == 0:
+		return types.NullValue, nil
+	case t.RowCount() > 1:
+		return types.NullValue, fmt.Errorf("operators: scalar subquery returned %d rows", t.RowCount())
+	}
+	for ci := 0; ci < t.ChunkCount(); ci++ {
+		c := t.GetChunk(types.ChunkID(ci))
+		if c.Size() > 0 {
+			return c.GetSegment(0).ValueAt(0), nil
+		}
+	}
+	return types.NullValue, nil
+}
+
+// valueSetFromTable collects the first column into a membership set.
+func valueSetFromTable(t *storage.Table) (*expression.ValueSet, error) {
+	if t.ColumnCount() < 1 {
+		return nil, fmt.Errorf("operators: IN subquery with no columns")
+	}
+	set := expression.NewValueSet()
+	for ci := 0; ci < t.ChunkCount(); ci++ {
+		c := t.GetChunk(types.ChunkID(ci))
+		if c.Size() == 0 {
+			continue
+		}
+		seg := c.GetSegment(0)
+		switch seg.DataType() {
+		case types.TypeInt64:
+			vals, nulls := encoding.Materialize[int64](seg)
+			for i, v := range vals {
+				if nulls != nil && nulls[i] {
+					set.HasNull = true
+					continue
+				}
+				set.Ints[v] = struct{}{}
+			}
+		case types.TypeFloat64:
+			vals, nulls := encoding.Materialize[float64](seg)
+			for i, v := range vals {
+				if nulls != nil && nulls[i] {
+					set.HasNull = true
+					continue
+				}
+				set.Floats[v] = struct{}{}
+			}
+		case types.TypeString:
+			vals, nulls := encoding.Materialize[string](seg)
+			for i, v := range vals {
+				if nulls != nil && nulls[i] {
+					set.HasNull = true
+					continue
+				}
+				set.Strs[v] = struct{}{}
+			}
+		}
+	}
+	return set, nil
+}

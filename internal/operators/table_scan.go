@@ -1,0 +1,547 @@
+package operators
+
+import (
+	"sort"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// TableScan filters rows by a predicate. Simple predicates of the form
+// `column OP literal` take specialized per-encoding paths — most notably
+// the dictionary scan, which translates the predicate into a value-id range
+// and compares integer codes without decoding (paper §2.3). Everything else
+// falls back to the vectorized expression evaluator.
+type TableScan struct {
+	Predicate expression.Expression
+	input     Operator
+}
+
+// NewTableScan builds a scan.
+func NewTableScan(in Operator, pred expression.Expression) *TableScan {
+	return &TableScan{Predicate: pred, input: in}
+}
+
+// Name implements Operator.
+func (op *TableScan) Name() string { return "TableScan(" + op.Predicate.String() + ")" }
+
+// Inputs implements Operator.
+func (op *TableScan) Inputs() []Operator { return []Operator{op.input} }
+
+// Run implements Operator.
+func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	input := inputs[0]
+	chunks := input.Chunks()
+	rowsPerChunk := make([]types.PosList, len(chunks))
+	errs := make([]error, len(chunks))
+
+	simple := analyzeSimplePredicate(op.Predicate)
+
+	jobs := make([]func(), len(chunks))
+	for ci, c := range chunks {
+		ci, c := ci, c
+		jobs[ci] = func() {
+			n := c.Size()
+			if n == 0 {
+				return
+			}
+			if simple != nil && !ctx.DynamicAccess {
+				if matches, ok := scanChunkSpecialized(c, simple); ok {
+					rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), matches)
+					return
+				}
+			}
+			// Fallback: vectorized expression evaluation.
+			ec := ctx.evalContext(input, c, n)
+			keep, err := expression.EvaluateBool(op.Predicate, ec)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			var rows types.PosList
+			for o, k := range keep {
+				if k {
+					rows = append(rows, types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(o)})
+				}
+			}
+			rowsPerChunk[ci] = rows
+		}
+	}
+	ctx.runJobs(jobs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buildReferenceTable(input, rowsPerChunk, nil), nil
+}
+
+// simplePredicate is a `column OP literal` or `column BETWEEN lit AND lit`
+// predicate eligible for specialized scans.
+type simplePredicate struct {
+	column types.ColumnID
+	op     expression.ComparisonOp
+	value  types.Value
+	// between bounds (op is ignored when isBetween)
+	isBetween bool
+	lo, hi    types.Value
+}
+
+// analyzeSimplePredicate recognizes the specializable shapes.
+func analyzeSimplePredicate(e expression.Expression) *simplePredicate {
+	switch x := e.(type) {
+	case *expression.Comparison:
+		if x.Op == expression.Like || x.Op == expression.NotLike {
+			return nil
+		}
+		if col, ok := x.Left.(*expression.BoundColumn); ok {
+			if lit, ok := x.Right.(*expression.Literal); ok && !lit.Value.IsNull() {
+				return &simplePredicate{column: types.ColumnID(col.Index), op: x.Op, value: lit.Value}
+			}
+		}
+		if col, ok := x.Right.(*expression.BoundColumn); ok {
+			if lit, ok := x.Left.(*expression.Literal); ok && !lit.Value.IsNull() {
+				return &simplePredicate{column: types.ColumnID(col.Index), op: x.Op.Flip(), value: lit.Value}
+			}
+		}
+	case *expression.Between:
+		col, ok := x.Child.(*expression.BoundColumn)
+		if !ok {
+			return nil
+		}
+		lo, ok1 := x.Lo.(*expression.Literal)
+		hi, ok2 := x.Hi.(*expression.Literal)
+		if ok1 && ok2 && !lo.Value.IsNull() && !hi.Value.IsNull() {
+			return &simplePredicate{column: types.ColumnID(col.Index), isBetween: true, lo: lo.Value, hi: hi.Value}
+		}
+	}
+	return nil
+}
+
+func offsetsToRows(chunkID types.ChunkID, offsets []types.ChunkOffset) types.PosList {
+	rows := make(types.PosList, len(offsets))
+	for i, o := range offsets {
+		rows[i] = types.RowID{Chunk: chunkID, Offset: o}
+	}
+	return rows
+}
+
+// scanChunkSpecialized runs the per-encoding fast paths. ok is false when
+// no specialization applies (caller falls back to the evaluator).
+func scanChunkSpecialized(c *storage.Chunk, p *simplePredicate) ([]types.ChunkOffset, bool) {
+	if int(p.column) >= c.ColumnCount() {
+		return nil, false
+	}
+	seg := c.GetSegment(p.column)
+	switch s := seg.(type) {
+	case *encoding.DictionarySegment[int64]:
+		v, ok := probeInt(p, s)
+		if !ok {
+			return nil, false
+		}
+		return v, true
+	case *encoding.DictionarySegment[float64]:
+		v, ok := probeFloat(p, s)
+		if !ok {
+			return nil, false
+		}
+		return v, true
+	case *encoding.DictionarySegment[string]:
+		v, ok := probeString(p, s)
+		if !ok {
+			return nil, false
+		}
+		return v, true
+	case *storage.ValueSegment[int64]:
+		return scanValueSegment(s, p, types.Value.AsInt)
+	case *storage.ValueSegment[float64]:
+		return scanValueSegment(s, p, types.Value.AsFloat)
+	case *storage.ValueSegment[string]:
+		return scanStringValueSegment(s, p)
+	case *encoding.RunLengthSegment[int64]:
+		return scanRunLength(s, p, types.Value.AsInt)
+	case *encoding.RunLengthSegment[float64]:
+		return scanRunLength(s, p, types.Value.AsFloat)
+	case *encoding.RunLengthSegment[string]:
+		return scanRunLengthString(s, p)
+	case *encoding.FrameOfReferenceSegment:
+		if !numericProbe(p) {
+			return nil, false
+		}
+		vals, nulls := s.DecodeAll()
+		return scanSlice(vals, nulls, p, types.Value.AsInt), true
+	default:
+		return nil, false
+	}
+}
+
+func numericProbe(p *simplePredicate) bool {
+	if p.isBetween {
+		return p.lo.Type.IsNumeric() && p.hi.Type.IsNumeric()
+	}
+	return p.value.Type.IsNumeric()
+}
+
+func stringProbe(p *simplePredicate) bool {
+	if p.isBetween {
+		return p.lo.Type == types.TypeString && p.hi.Type == types.TypeString
+	}
+	return p.value.Type == types.TypeString
+}
+
+// probeDictionary translates the predicate into a value-id range [lo, hi)
+// and, for NotEquals, a second range. Matching offsets are collected by
+// integer comparison on the attribute vector only.
+func probeDictionary[T types.Ordered](s *encoding.DictionarySegment[T], p *simplePredicate, conv func(types.Value) T) ([]types.ChunkOffset, bool) {
+	total := encoding.ValueID(s.UniqueValueCount())
+	if p.isBetween {
+		lo := s.LowerBound(conv(p.lo))
+		hi := s.UpperBound(conv(p.hi))
+		return s.Matches(lo, hi, nil), true
+	}
+	v := conv(p.value)
+	switch p.op {
+	case expression.Eq:
+		return s.Matches(s.LowerBound(v), s.UpperBound(v), nil), true
+	case expression.Ne:
+		// Two disjoint id ranges: below and above the probe value.
+		out := s.Matches(0, s.LowerBound(v), nil)
+		out = s.Matches(s.UpperBound(v), total, out)
+		return sortOffsets(out), true
+	case expression.Lt:
+		return s.Matches(0, s.LowerBound(v), nil), true
+	case expression.Le:
+		return s.Matches(0, s.UpperBound(v), nil), true
+	case expression.Gt:
+		return s.Matches(s.UpperBound(v), total, nil), true
+	case expression.Ge:
+		return s.Matches(s.LowerBound(v), total, nil), true
+	default:
+		return nil, false
+	}
+}
+
+// sortOffsets restores position order after offsets were collected from
+// several id ranges or index postings.
+func sortOffsets(offsets []types.ChunkOffset) []types.ChunkOffset {
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	return offsets
+}
+
+func probeInt(p *simplePredicate, s *encoding.DictionarySegment[int64]) ([]types.ChunkOffset, bool) {
+	if !numericProbe(p) {
+		return nil, false
+	}
+	// Float probes against int dictionaries only specialize when integral.
+	if !p.isBetween && p.value.Type == types.TypeFloat64 && p.value.F != float64(int64(p.value.F)) {
+		return nil, false
+	}
+	if p.isBetween && ((p.lo.Type == types.TypeFloat64 && p.lo.F != float64(int64(p.lo.F))) ||
+		(p.hi.Type == types.TypeFloat64 && p.hi.F != float64(int64(p.hi.F)))) {
+		return nil, false
+	}
+	return probeDictionary(s, p, types.Value.AsInt)
+}
+
+func probeFloat(p *simplePredicate, s *encoding.DictionarySegment[float64]) ([]types.ChunkOffset, bool) {
+	if !numericProbe(p) {
+		return nil, false
+	}
+	return probeDictionary(s, p, types.Value.AsFloat)
+}
+
+func probeString(p *simplePredicate, s *encoding.DictionarySegment[string]) ([]types.ChunkOffset, bool) {
+	if !stringProbe(p) {
+		return nil, false
+	}
+	return probeDictionary(s, p, func(v types.Value) string { return v.S })
+}
+
+// scanValueSegment is the monomorphic compare loop over an unencoded
+// segment (the static access path: resolved once, no virtual calls inside).
+func scanValueSegment[T types.Ordered](s *storage.ValueSegment[T], p *simplePredicate, conv func(types.Value) T) ([]types.ChunkOffset, bool) {
+	if !probeTypeMatches[T](p) {
+		return nil, false
+	}
+	return scanSlice(s.Values(), s.Nulls(), p, conv), true
+}
+
+func scanStringValueSegment(s *storage.ValueSegment[string], p *simplePredicate) ([]types.ChunkOffset, bool) {
+	if !stringProbe(p) {
+		return nil, false
+	}
+	return scanSlice(s.Values(), s.Nulls(), p, func(v types.Value) string { return v.S }), true
+}
+
+func probeTypeMatches[T types.Ordered](p *simplePredicate) bool {
+	var z T
+	switch any(z).(type) {
+	case int64:
+		if !numericProbe(p) {
+			return false
+		}
+		// Non-integral float probes need float comparison semantics.
+		if !p.isBetween && p.value.Type == types.TypeFloat64 && p.value.F != float64(int64(p.value.F)) {
+			return false
+		}
+		if p.isBetween && ((p.lo.Type == types.TypeFloat64 && p.lo.F != float64(int64(p.lo.F))) ||
+			(p.hi.Type == types.TypeFloat64 && p.hi.F != float64(int64(p.hi.F)))) {
+			return false
+		}
+		return true
+	case float64:
+		return numericProbe(p)
+	case string:
+		return stringProbe(p)
+	}
+	return false
+}
+
+func scanSlice[T types.Ordered](vals []T, nulls []bool, p *simplePredicate, conv func(types.Value) T) []types.ChunkOffset {
+	var out []types.ChunkOffset
+	emit := func(i int) { out = append(out, types.ChunkOffset(i)) }
+	if p.isBetween {
+		lo, hi := conv(p.lo), conv(p.hi)
+		for i, v := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			if v >= lo && v <= hi {
+				emit(i)
+			}
+		}
+		return out
+	}
+	probe := conv(p.value)
+	switch p.op {
+	case expression.Eq:
+		for i, v := range vals {
+			if (nulls == nil || !nulls[i]) && v == probe {
+				emit(i)
+			}
+		}
+	case expression.Ne:
+		for i, v := range vals {
+			if (nulls == nil || !nulls[i]) && v != probe {
+				emit(i)
+			}
+		}
+	case expression.Lt:
+		for i, v := range vals {
+			if (nulls == nil || !nulls[i]) && v < probe {
+				emit(i)
+			}
+		}
+	case expression.Le:
+		for i, v := range vals {
+			if (nulls == nil || !nulls[i]) && v <= probe {
+				emit(i)
+			}
+		}
+	case expression.Gt:
+		for i, v := range vals {
+			if (nulls == nil || !nulls[i]) && v > probe {
+				emit(i)
+			}
+		}
+	case expression.Ge:
+		for i, v := range vals {
+			if (nulls == nil || !nulls[i]) && v >= probe {
+				emit(i)
+			}
+		}
+	}
+	return out
+}
+
+// scanRunLength evaluates the predicate once per run (paper §2.3 lists RLE
+// among the encodings scans specialize for).
+func scanRunLength[T types.Ordered](s *encoding.RunLengthSegment[T], p *simplePredicate, conv func(types.Value) T) ([]types.ChunkOffset, bool) {
+	if !probeTypeMatches[T](p) {
+		return nil, false
+	}
+	var out []types.ChunkOffset
+	match := runMatcher(p, conv)
+	s.ForEachRun(func(first, last types.ChunkOffset, v T, null bool) {
+		if null || !match(v) {
+			return
+		}
+		for o := first; o <= last; o++ {
+			out = append(out, o)
+		}
+	})
+	return out, true
+}
+
+func scanRunLengthString(s *encoding.RunLengthSegment[string], p *simplePredicate) ([]types.ChunkOffset, bool) {
+	if !stringProbe(p) {
+		return nil, false
+	}
+	return scanRunLength(s, p, func(v types.Value) string { return v.S })
+}
+
+func runMatcher[T types.Ordered](p *simplePredicate, conv func(types.Value) T) func(T) bool {
+	if p.isBetween {
+		lo, hi := conv(p.lo), conv(p.hi)
+		return func(v T) bool { return v >= lo && v <= hi }
+	}
+	probe := conv(p.value)
+	switch p.op {
+	case expression.Eq:
+		return func(v T) bool { return v == probe }
+	case expression.Ne:
+		return func(v T) bool { return v != probe }
+	case expression.Lt:
+		return func(v T) bool { return v < probe }
+	case expression.Le:
+		return func(v T) bool { return v <= probe }
+	case expression.Gt:
+		return func(v T) bool { return v > probe }
+	default:
+		return func(v T) bool { return v >= probe }
+	}
+}
+
+// IndexScan evaluates a simple predicate through per-chunk secondary
+// indexes, falling back to a specialized scan for chunks without one
+// (paper §2.4: indexes "return qualifying positions for a certain predicate
+// directly without scanning through the data").
+type IndexScan struct {
+	Predicate expression.Expression
+	input     Operator
+}
+
+// NewIndexScan builds an index scan.
+func NewIndexScan(in Operator, pred expression.Expression) *IndexScan {
+	return &IndexScan{Predicate: pred, input: in}
+}
+
+// Name implements Operator.
+func (op *IndexScan) Name() string { return "IndexScan(" + op.Predicate.String() + ")" }
+
+// Inputs implements Operator.
+func (op *IndexScan) Inputs() []Operator { return []Operator{op.input} }
+
+// Run implements Operator.
+func (op *IndexScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
+	input := inputs[0]
+	simple := analyzeSimplePredicate(op.Predicate)
+	if simple == nil {
+		// Not index-eligible after all: degrade to a table scan.
+		return NewTableScan(op.input, op.Predicate).Run(ctx, inputs)
+	}
+	chunks := input.Chunks()
+	rowsPerChunk := make([]types.PosList, len(chunks))
+	jobs := make([]func(), len(chunks))
+	for ci, c := range chunks {
+		ci, c := ci, c
+		jobs[ci] = func() {
+			if c.Size() == 0 {
+				return
+			}
+			idx := c.GetIndex(simple.column)
+			if idx == nil {
+				if matches, ok := scanChunkSpecialized(c, simple); ok {
+					rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), matches)
+					return
+				}
+				// Unspecializable chunk: dynamic per-row fallback.
+				rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), dynamicScan(c, simple))
+				return
+			}
+			rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), indexProbe(idx, simple))
+		}
+	}
+	ctx.runJobs(jobs)
+	return buildReferenceTable(input, rowsPerChunk, nil), nil
+}
+
+func indexProbe(idx storage.ChunkIndex, p *simplePredicate) []types.ChunkOffset {
+	if p.isBetween {
+		return sortOffsets(idx.Range(&p.lo, &p.hi))
+	}
+	switch p.op {
+	case expression.Eq:
+		return idx.Equals(p.value)
+	case expression.Lt:
+		// Exclusive bound: range to value, then drop equals.
+		all := idx.Range(nil, &p.value)
+		eq := offsetSet(idx.Equals(p.value))
+		return sortOffsets(removeOffsets(all, eq))
+	case expression.Le:
+		return sortOffsets(idx.Range(nil, &p.value))
+	case expression.Gt:
+		all := idx.Range(&p.value, nil)
+		eq := offsetSet(idx.Equals(p.value))
+		return sortOffsets(removeOffsets(all, eq))
+	case expression.Ge:
+		return sortOffsets(idx.Range(&p.value, nil))
+	default: // Ne
+		all := idx.Range(nil, nil)
+		eq := offsetSet(idx.Equals(p.value))
+		return sortOffsets(removeOffsets(all, eq))
+	}
+}
+
+func offsetSet(offsets []types.ChunkOffset) map[types.ChunkOffset]bool {
+	m := make(map[types.ChunkOffset]bool, len(offsets))
+	for _, o := range offsets {
+		m[o] = true
+	}
+	return m
+}
+
+func removeOffsets(offsets []types.ChunkOffset, drop map[types.ChunkOffset]bool) []types.ChunkOffset {
+	out := offsets[:0]
+	for _, o := range offsets {
+		if !drop[o] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// dynamicScan is the last-resort per-row scan through the Segment
+// interface.
+func dynamicScan(c *storage.Chunk, p *simplePredicate) []types.ChunkOffset {
+	seg := c.GetSegment(p.column)
+	var out []types.ChunkOffset
+	for o := 0; o < seg.Len(); o++ {
+		v := seg.ValueAt(types.ChunkOffset(o))
+		if v.IsNull() {
+			continue
+		}
+		if matchValue(v, p) {
+			out = append(out, types.ChunkOffset(o))
+		}
+	}
+	return out
+}
+
+func matchValue(v types.Value, p *simplePredicate) bool {
+	if p.isBetween {
+		c1, ok1 := types.Compare(v, p.lo)
+		c2, ok2 := types.Compare(v, p.hi)
+		return ok1 && ok2 && c1 >= 0 && c2 <= 0
+	}
+	c, ok := types.Compare(v, p.value)
+	if !ok {
+		return false
+	}
+	switch p.op {
+	case expression.Eq:
+		return c == 0
+	case expression.Ne:
+		return c != 0
+	case expression.Lt:
+		return c < 0
+	case expression.Le:
+		return c <= 0
+	case expression.Gt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}

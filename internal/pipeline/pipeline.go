@@ -1,0 +1,514 @@
+// Package pipeline implements Hyrise's SQL pipeline (paper §2.6, Figure 4):
+// the SQLPipeline class is the main entry point to query execution. It
+// takes a SQL string, runs it through parser, SQL-to-LQP translation,
+// optimization, LQP-to-PQP translation, and the scheduler, and returns one
+// or more tables. All intermediary artifacts can be inspected.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"hyrise/internal/cache"
+	"hyrise/internal/concurrency"
+	"hyrise/internal/fusion"
+	"hyrise/internal/lqp"
+	"hyrise/internal/operators"
+	"hyrise/internal/optimizer"
+	"hyrise/internal/scheduler"
+	"hyrise/internal/sqlparser"
+	"hyrise/internal/statistics"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Config toggles the optional components (paper §2: "even core concepts,
+// such as optimization, concurrency control, or scheduling, can be
+// disabled").
+type Config struct {
+	// UseOptimizer runs the rule pipeline; without it, queries execute
+	// close to how they are written.
+	UseOptimizer bool
+	// UseMvcc enables multi-version concurrency control; without it,
+	// tables are effectively read-only and no Validate operators are
+	// planned.
+	UseMvcc bool
+	// UseScheduler runs operator tasks on the node-queue scheduler;
+	// without it, tasks execute immediately in the calling goroutine.
+	UseScheduler bool
+	// SchedulerNodes and SchedulerWorkers configure the scheduler topology
+	// (0 = defaults).
+	SchedulerNodes   int
+	SchedulerWorkers int
+	// PlanCacheSize bounds the physical plan cache (0 disables caching).
+	PlanCacheSize int
+	// JoinImpl selects the physical equi-join.
+	JoinImpl operators.JoinImplementation
+	// UseFusion enables the fused scan-aggregate engine (the JIT analog,
+	// paper §2.7: explicitly enabled, with automatic fallback for
+	// non-fusible plans).
+	UseFusion bool
+	// DynamicAccess forces the interface-call-per-value access path
+	// (Hyrise1-style dynamic polymorphism): the naive-columnar baseline of
+	// the Figure 6 comparison.
+	DynamicAccess bool
+	// HistogramType selects the statistics histogram flavor.
+	HistogramType statistics.HistogramType
+}
+
+// DefaultConfig enables everything except the scheduler, mirroring the
+// paper's evaluation default ("the scheduler is currently disabled" in the
+// default configuration; Hyrise's default thread count is 1).
+func DefaultConfig() Config {
+	return Config{
+		UseOptimizer:  true,
+		UseMvcc:       true,
+		UseScheduler:  false,
+		PlanCacheSize: 1024,
+		HistogramType: statistics.EqualHeight,
+	}
+}
+
+// Engine bundles the storage manager, transaction manager, scheduler,
+// optimizer, and plan caches — everything a session needs to run SQL.
+type Engine struct {
+	cfg   Config
+	sm    *storage.StorageManager
+	tm    *concurrency.TransactionManager
+	sched scheduler.Scheduler
+	stats *statistics.Cache
+	opt   *optimizer.Optimizer
+
+	planCache *cache.LRU[string, *cachedPlan]
+
+	mu       sync.Mutex
+	prepared map[string]string // name -> SQL text
+}
+
+type cachedPlan struct {
+	root    operators.Operator
+	columns []string
+}
+
+// NewEngine creates an engine over (or with) a storage manager.
+func NewEngine(cfg Config, sm *storage.StorageManager) *Engine {
+	if sm == nil {
+		sm = storage.NewStorageManager()
+	}
+	e := &Engine{
+		cfg:       cfg,
+		sm:        sm,
+		tm:        concurrency.NewTransactionManager(),
+		stats:     statistics.NewCache(cfg.HistogramType),
+		planCache: cache.NewLRU[string, *cachedPlan](cfg.PlanCacheSize),
+		prepared:  make(map[string]string),
+	}
+	e.opt = optimizer.NewDefault(e.stats)
+	if cfg.UseScheduler {
+		e.sched = scheduler.NewNodeQueueScheduler(cfg.SchedulerNodes, cfg.SchedulerWorkers)
+	} else {
+		e.sched = scheduler.NewImmediateScheduler()
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// StorageManager exposes the catalog.
+func (e *Engine) StorageManager() *storage.StorageManager { return e.sm }
+
+// TransactionManager exposes MVCC control.
+func (e *Engine) TransactionManager() *concurrency.TransactionManager { return e.tm }
+
+// Scheduler exposes the task scheduler.
+func (e *Engine) Scheduler() scheduler.Scheduler { return e.sched }
+
+// Statistics exposes the statistics cache.
+func (e *Engine) Statistics() *statistics.Cache { return e.stats }
+
+// PlanCacheStats returns plan cache hit/miss counters.
+func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.planCache.Stats() }
+
+// Close shuts the scheduler down.
+func (e *Engine) Close() { e.sched.Shutdown() }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Table holds the rows (nil for DDL/transaction statements).
+	Table *storage.Table
+	// Columns are the output column names.
+	Columns []string
+	// RowsAffected is set for DML.
+	RowsAffected int64
+	// Tag describes the statement kind ("SELECT", "INSERT", ...).
+	Tag string
+	// Timing breaks down the pipeline stages.
+	Timing Timing
+}
+
+// Timing records per-stage durations (the paper's benchmark output includes
+// per-query times; the console's timing mode shows the stage split).
+type Timing struct {
+	Parse     time.Duration
+	Translate time.Duration
+	Optimize  time.Duration
+	ToPQP     time.Duration
+	Execute   time.Duration
+	CacheHit  bool
+}
+
+// Total sums all stages.
+func (t Timing) Total() time.Duration {
+	return t.Parse + t.Translate + t.Optimize + t.ToPQP + t.Execute
+}
+
+// Session is one client connection: it tracks the open explicit
+// transaction. Sessions are not safe for concurrent use; engines are.
+type Session struct {
+	engine *Engine
+	tx     *concurrency.TransactionContext
+}
+
+// NewSession opens a session.
+func (e *Engine) NewSession() *Session { return &Session{engine: e} }
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.tx != nil }
+
+// Execute runs all statements in the SQL string and returns one result per
+// statement.
+func (s *Session) Execute(sql string) ([]*Result, error) {
+	start := time.Now()
+	stmts, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	parseTime := time.Since(start)
+	results := make([]*Result, 0, len(stmts))
+	for _, stmt := range stmts {
+		res, err := s.executeStatement(stmt, sql, len(stmts) == 1)
+		if err != nil {
+			return results, err
+		}
+		res.Timing.Parse = parseTime
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ExecuteOne runs a single-statement SQL string.
+func (s *Session) ExecuteOne(sql string) (*Result, error) {
+	results, err := s.Execute(sql)
+	if err != nil {
+		return nil, err
+	}
+	return results[len(results)-1], nil
+}
+
+func (s *Session) executeStatement(stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparser.TransactionStatement:
+		return s.executeTransactionStatement(st)
+	case *sqlparser.CreateTableStatement:
+		defs := make([]storage.ColumnDefinition, len(st.Columns))
+		for i, c := range st.Columns {
+			defs[i] = storage.ColumnDefinition{Name: c.Name, Type: c.Type, Nullable: c.Nullable}
+		}
+		table := storage.NewTable(st.Name, defs, 0, s.engine.cfg.UseMvcc)
+		if err := s.engine.sm.AddTable(table); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "CREATE TABLE"}, nil
+	case *sqlparser.CreateViewStatement:
+		if err := s.engine.sm.AddView(st.Name, st.SQL); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "CREATE VIEW"}, nil
+	case *sqlparser.DropStatement:
+		if st.IsView {
+			if err := s.engine.sm.DropView(st.Name); err != nil {
+				return nil, err
+			}
+			return &Result{Tag: "DROP VIEW"}, nil
+		}
+		if err := s.engine.sm.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "DROP TABLE"}, nil
+	default:
+		return s.runPlanned(stmt, sqlText, cacheable)
+	}
+}
+
+func (s *Session) executeTransactionStatement(st *sqlparser.TransactionStatement) (*Result, error) {
+	switch st.Kind {
+	case sqlparser.TxBegin:
+		if !s.engine.cfg.UseMvcc {
+			return nil, fmt.Errorf("pipeline: transactions require MVCC")
+		}
+		if s.tx != nil {
+			return nil, fmt.Errorf("pipeline: transaction already open")
+		}
+		s.tx = s.engine.tm.New()
+		return &Result{Tag: "BEGIN"}, nil
+	case sqlparser.TxCommit:
+		if s.tx == nil {
+			return nil, fmt.Errorf("pipeline: no transaction open")
+		}
+		err := s.tx.Commit()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "COMMIT"}, nil
+	default:
+		if s.tx == nil {
+			return nil, fmt.Errorf("pipeline: no transaction open")
+		}
+		s.tx.Rollback()
+		s.tx = nil
+		return &Result{Tag: "ROLLBACK"}, nil
+	}
+}
+
+// isDMLStatement reports whether the statement modifies data.
+func isDMLStatement(stmt sqlparser.Statement) bool {
+	switch stmt.(type) {
+	case *sqlparser.InsertStatement, *sqlparser.UpdateStatement, *sqlparser.DeleteStatement:
+		return true
+	}
+	return false
+}
+
+func tagOf(stmt sqlparser.Statement) string {
+	switch stmt.(type) {
+	case *sqlparser.InsertStatement:
+		return "INSERT"
+	case *sqlparser.UpdateStatement:
+		return "UPDATE"
+	case *sqlparser.DeleteStatement:
+		return "DELETE"
+	default:
+		return "SELECT"
+	}
+}
+
+// runPlanned executes SELECT/INSERT/UPDATE/DELETE through the planning
+// pipeline, using the plan cache for repeated SELECTs.
+func (s *Session) runPlanned(stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
+	engine := s.engine
+	isDML := isDMLStatement(stmt)
+	timing := Timing{}
+
+	key := strings.TrimSpace(sqlText)
+	var plan *cachedPlan
+	// DML plans are not cached: they capture literal rows.
+	if cacheable && !isDML {
+		if p, ok := engine.planCache.Get(key); ok {
+			plan = p
+			timing.CacheHit = true
+		}
+	}
+	if plan == nil {
+		var err error
+		plan, err = engine.buildPlan(stmt, &timing)
+		if err != nil {
+			return nil, err
+		}
+		if cacheable && !isDML {
+			engine.planCache.Put(key, plan)
+		}
+	}
+
+	// Transactions: explicit when open, auto-commit otherwise.
+	tx := s.tx
+	autoCommit := false
+	if engine.cfg.UseMvcc && tx == nil {
+		tx = engine.tm.New()
+		autoCommit = true
+	}
+
+	execStart := time.Now()
+	ctx := operators.NewExecContext(engine.sm, engine.sched, tx)
+	ctx.DynamicAccess = engine.cfg.DynamicAccess
+	out, err := operators.Execute(plan.root, ctx)
+	timing.Execute = time.Since(execStart)
+	if err != nil {
+		if autoCommit {
+			tx.Rollback()
+		} else if tx != nil {
+			// Explicit transactions become invalid after conflicts; the
+			// client must roll back, matching the usual DBMS contract. We
+			// roll back eagerly to release claims.
+			tx.Rollback()
+			s.tx = nil
+		}
+		return nil, err
+	}
+	if autoCommit {
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Table: out, Columns: plan.columns, Tag: tagOf(stmt), Timing: timing}
+	if isDML && out != nil && out.RowCount() > 0 {
+		res.RowsAffected = out.GetValue(0, types.RowID{}).I
+	}
+	return res, nil
+}
+
+// buildPlan runs translate/optimize/PQP-translate.
+func (e *Engine) buildPlan(stmt sqlparser.Statement, timing *Timing) (*cachedPlan, error) {
+	start := time.Now()
+	tr := &lqp.Translator{SM: e.sm, UseMvcc: e.cfg.UseMvcc}
+	logical, err := tr.Translate(stmt)
+	if err != nil {
+		return nil, err
+	}
+	timing.Translate = time.Since(start)
+
+	start = time.Now()
+	if e.cfg.UseOptimizer {
+		logical, err = e.opt.Optimize(logical)
+		if err != nil {
+			return nil, err
+		}
+	}
+	timing.Optimize = time.Since(start)
+
+	start = time.Now()
+	pqpTr := &operators.Translator{JoinImpl: e.cfg.JoinImpl}
+	physical, err := pqpTr.Translate(logical)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.UseFusion {
+		physical, _ = fusion.TryFuse(physical)
+	}
+	timing.ToPQP = time.Since(start)
+
+	return &cachedPlan{
+		root:    physical,
+		columns: logical.Schema().Names(),
+	}, nil
+}
+
+// Plans exposes the intermediary artifacts of a SQL string for inspection
+// (paper: "all intermediary artifacts can be inspected by the developer in
+// their text or graph forms").
+func (e *Engine) Plans(sql string) (logicalUnoptimized, logicalOptimized string, physical string, err error) {
+	stmt, err := sqlparser.ParseOne(sql)
+	if err != nil {
+		return "", "", "", err
+	}
+	tr := &lqp.Translator{SM: e.sm, UseMvcc: e.cfg.UseMvcc}
+	logical, err := tr.Translate(stmt)
+	if err != nil {
+		return "", "", "", err
+	}
+	logicalUnoptimized = lqp.PlanString(logical)
+	if e.cfg.UseOptimizer {
+		logical, err = e.opt.Optimize(logical)
+		if err != nil {
+			return logicalUnoptimized, "", "", err
+		}
+	}
+	logicalOptimized = lqp.PlanString(logical)
+	pqpTr := &operators.Translator{JoinImpl: e.cfg.JoinImpl}
+	root, err := pqpTr.Translate(logical)
+	if err != nil {
+		return logicalUnoptimized, logicalOptimized, "", err
+	}
+	return logicalUnoptimized, logicalOptimized, operators.PlanString(root), nil
+}
+
+// Prepare registers a named prepared statement (paper §2.6: "for prepared
+// statements, we store placeholders instead of actual values"). The
+// statement is validated at prepare time; each execution re-parses the
+// stored text so parameter substitution never mutates shared state —
+// parsing is cheap (paper: "the cost of query planning is comparatively
+// low").
+func (e *Engine) Prepare(name, sql string) error {
+	if _, err := sqlparser.ParseOne(sql); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.prepared[name] = sql
+	e.mu.Unlock()
+	return nil
+}
+
+// ExecutePrepared binds parameter values and executes a prepared statement.
+func (s *Session) ExecutePrepared(name string, params []types.Value) (*Result, error) {
+	s.engine.mu.Lock()
+	sql, ok := s.engine.prepared[name]
+	s.engine.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pipeline: no prepared statement %q", name)
+	}
+	stmt, err := sqlparser.ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := lqp.BindParameters(stmt, params); err != nil {
+		return nil, err
+	}
+	return s.runPlanned(stmt, "", false)
+}
+
+// ExecuteWithParams parses the SQL, substitutes the '?' placeholders with
+// the given values, and executes — a one-shot prepared statement (used by
+// the wire protocol's extended query flow).
+func (s *Session) ExecuteWithParams(sql string, params []types.Value) (*Result, error) {
+	stmt, err := sqlparser.ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := lqp.BindParameters(stmt, params); err != nil {
+		return nil, err
+	}
+	return s.runPlanned(stmt, "", false)
+}
+
+// RowStrings renders a result table as printable rows (boundary helper for
+// console/server/tests).
+func RowStrings(t *storage.Table) [][]string {
+	if t == nil {
+		return nil
+	}
+	var out [][]string
+	for ci := 0; ci < t.ChunkCount(); ci++ {
+		c := t.GetChunk(types.ChunkID(ci))
+		for o := 0; o < c.Size(); o++ {
+			row := make([]string, t.ColumnCount())
+			for col := 0; col < t.ColumnCount(); col++ {
+				row[col] = c.GetSegment(types.ColumnID(col)).ValueAt(types.ChunkOffset(o)).String()
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// ValueRows materializes a result as dynamic values.
+func ValueRows(t *storage.Table) [][]types.Value {
+	if t == nil {
+		return nil
+	}
+	var out [][]types.Value
+	for ci := 0; ci < t.ChunkCount(); ci++ {
+		c := t.GetChunk(types.ChunkID(ci))
+		for o := 0; o < c.Size(); o++ {
+			row := make([]types.Value, t.ColumnCount())
+			for col := 0; col < t.ColumnCount(); col++ {
+				row[col] = c.GetSegment(types.ColumnID(col)).ValueAt(types.ChunkOffset(o))
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package plugin
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/pipeline"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+type testPlugin struct {
+	started, stopped bool
+	failStart        bool
+}
+
+func (p *testPlugin) Name() string        { return "test" }
+func (p *testPlugin) Description() string { return "test plugin" }
+func (p *testPlugin) Start(*pipeline.Engine) error {
+	if p.failStart {
+		return fmt.Errorf("boom")
+	}
+	p.started = true
+	return nil
+}
+func (p *testPlugin) Stop() error { p.stopped = true; return nil }
+
+func newEngine(t *testing.T) *pipeline.Engine {
+	t.Helper()
+	e := pipeline.NewEngine(pipeline.DefaultConfig(), nil)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestManagerLoadUnload(t *testing.T) {
+	var last *testPlugin
+	Register("test", func() Plugin {
+		last = &testPlugin{}
+		return last
+	})
+	m := NewManager(newEngine(t))
+
+	if err := m.Load("test"); err != nil {
+		t.Fatal(err)
+	}
+	if !last.started {
+		t.Error("Start not called")
+	}
+	if got := m.Loaded(); len(got) != 1 || got[0] != "test" {
+		t.Errorf("Loaded = %v", got)
+	}
+	if _, ok := m.Get("test"); !ok {
+		t.Error("Get failed")
+	}
+	// Singleton: double load fails.
+	if err := m.Load("test"); err == nil {
+		t.Error("double load should fail")
+	}
+	if err := m.Unload("test"); err != nil {
+		t.Fatal(err)
+	}
+	if !last.stopped {
+		t.Error("Stop not called")
+	}
+	if err := m.Unload("test"); err == nil {
+		t.Error("double unload should fail")
+	}
+	// Unknown plugin.
+	if err := m.Load("bogus"); err == nil {
+		t.Error("unknown plugin should fail")
+	}
+	// Failed start does not register.
+	Register("failing", func() Plugin { return &testPlugin{failStart: true} })
+	if err := m.Load("failing"); err == nil {
+		t.Error("failing Start should propagate")
+	}
+	if len(m.Loaded()) != 0 {
+		t.Error("failed plugin must not stay loaded")
+	}
+}
+
+func TestAvailableContainsSelfDriving(t *testing.T) {
+	names := Available()
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "index_selection") || !strings.Contains(joined, "encoding_advisor") {
+		t.Errorf("Available = %v", names)
+	}
+}
+
+func TestUnloadAll(t *testing.T) {
+	Register("a1", func() Plugin { return &testPlugin{} })
+	Register("a2", func() Plugin { return &testPlugin{} })
+	m := NewManager(newEngine(t))
+	_ = m.Load("a1")
+	_ = m.Load("a2")
+	m.UnloadAll()
+	if len(m.Loaded()) != 0 {
+		t.Error("UnloadAll left plugins behind")
+	}
+}
+
+func selfDrivingEngine(t *testing.T) *pipeline.Engine {
+	t.Helper()
+	sm := storage.NewStorageManager()
+	table := storage.NewTable("events", []storage.ColumnDefinition{
+		{Name: "id", Type: types.TypeInt64},       // unique -> index candidate
+		{Name: "kind", Type: types.TypeInt64},     // 4 distinct -> dictionary
+		{Name: "constant", Type: types.TypeInt64}, // 1 distinct -> run length
+		{Name: "seq", Type: types.TypeInt64},      // dense unique ints -> FOR
+		{Name: "payload", Type: types.TypeString}, // unique strings -> unencoded
+	}, 500, false)
+	for i := 0; i < 2000; i++ {
+		_, _ = table.AppendRow([]types.Value{
+			types.Int(int64(i * 7)),
+			types.Int(int64(i % 4)),
+			types.Int(42),
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("payload-%06d", i)),
+		})
+	}
+	table.FinalizeLastChunk()
+	_ = sm.AddTable(table)
+	e := pipeline.NewEngine(pipeline.DefaultConfig(), sm)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestIndexSelectionPlugin(t *testing.T) {
+	e := selfDrivingEngine(t)
+	m := NewManager(e)
+	if err := m.Load("index_selection"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Get("index_selection")
+	created := p.(*IndexSelectionPlugin).Created()
+	if len(created) == 0 {
+		t.Fatal("no indexes created")
+	}
+	// The unique id column must be among them; the 4-distinct kind column
+	// must not.
+	joined := strings.Join(created, ",")
+	if !strings.Contains(joined, "events.id") {
+		t.Errorf("unique column not indexed: %v", created)
+	}
+	if strings.Contains(joined, "events.kind") {
+		t.Errorf("low-cardinality column indexed: %v", created)
+	}
+	// Indexes are physically attached.
+	table, _ := e.StorageManager().GetTable("events")
+	idCol, _ := table.ColumnID("id")
+	if table.GetChunk(0).GetIndex(idCol) == nil {
+		t.Error("chunk 0 has no index on id")
+	}
+}
+
+func TestEncodingAdvisorPlugin(t *testing.T) {
+	e := selfDrivingEngine(t)
+	m := NewManager(e)
+	if err := m.Load("encoding_advisor"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Get("encoding_advisor")
+	applied := p.(*EncodingAdvisorPlugin).Applied()
+	if !strings.Contains(applied["events.kind"], "Dictionary") {
+		t.Errorf("kind should be dictionary, got %q", applied["events.kind"])
+	}
+	if applied["events.constant"] != "RunLength" {
+		t.Errorf("constant should be run-length, got %q", applied["events.constant"])
+	}
+	if !strings.Contains(applied["events.seq"], "FrameOfReference") {
+		t.Errorf("seq should be FOR, got %q", applied["events.seq"])
+	}
+	if applied["events.payload"] != "Unencoded" {
+		t.Errorf("payload should stay unencoded, got %q", applied["events.payload"])
+	}
+	// Segments were physically replaced.
+	table, _ := e.StorageManager().GetTable("events")
+	kindCol, _ := table.ColumnID("kind")
+	if _, ok := table.GetChunk(0).GetSegment(kindCol).(*encoding.DictionarySegment[int64]); !ok {
+		t.Errorf("kind segment is %T", table.GetChunk(0).GetSegment(kindCol))
+	}
+	// Queries still work after self-driving encoding.
+	s := e.NewSession()
+	res, err := s.ExecuteOne("SELECT count(*) FROM events WHERE kind = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := pipeline.RowStrings(res.Table); rows[0][0] != "500" {
+		t.Errorf("count = %v", rows)
+	}
+}

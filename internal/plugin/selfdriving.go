@@ -1,0 +1,257 @@
+package plugin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/index"
+	"hyrise/internal/pipeline"
+	"hyrise/internal/statistics"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// This file implements the paper's prime plugin use case (§3.2): a
+// self-driving component that assesses the database and tunes the physical
+// design autonomously — index selection and encoding selection, two of the
+// aspects the paper lists ("the selection of indexes, ... and an automatic
+// selection of efficient encoding and compression schemes per chunk").
+
+func init() {
+	Register("index_selection", func() Plugin { return &IndexSelectionPlugin{} })
+	Register("encoding_advisor", func() Plugin { return &EncodingAdvisorPlugin{} })
+}
+
+// IndexSelectionPlugin builds per-chunk indexes on high-selectivity columns
+// of the largest tables: a workload-independent physical-design heuristic
+// (distinct count close to row count means point predicates are selective
+// and index-friendly).
+type IndexSelectionPlugin struct {
+	mu      sync.Mutex
+	engine  *pipeline.Engine
+	created []string // "table.column" descriptors, for inspection
+	// MaxIndexes bounds how many columns get indexed per Advise run.
+	MaxIndexes int
+	// IndexType selects the structure (default GroupKey on dictionary
+	// segments, BTree otherwise).
+	IndexType index.Type
+}
+
+// Name implements Plugin.
+func (p *IndexSelectionPlugin) Name() string { return "index_selection" }
+
+// Description implements Plugin.
+func (p *IndexSelectionPlugin) Description() string {
+	return "self-driving index selection: creates per-chunk indexes on selective columns"
+}
+
+// Start implements Plugin.
+func (p *IndexSelectionPlugin) Start(engine *pipeline.Engine) error {
+	p.mu.Lock()
+	p.engine = engine
+	if p.MaxIndexes == 0 {
+		p.MaxIndexes = 8
+	}
+	p.mu.Unlock()
+	return p.Advise()
+}
+
+// Stop implements Plugin.
+func (p *IndexSelectionPlugin) Stop() error { return nil }
+
+// Created lists the indexes the plugin built.
+func (p *IndexSelectionPlugin) Created() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.created))
+	copy(out, p.created)
+	return out
+}
+
+type indexCandidate struct {
+	table   *storage.Table
+	tname   string
+	col     types.ColumnID
+	colName string
+	score   float64
+}
+
+// Advise scans the catalog and builds the most promising indexes.
+func (p *IndexSelectionPlugin) Advise() error {
+	p.mu.Lock()
+	engine := p.engine
+	budget := p.MaxIndexes
+	p.mu.Unlock()
+	if engine == nil {
+		return fmt.Errorf("plugin: not started")
+	}
+	sm := engine.StorageManager()
+	stats := engine.Statistics()
+
+	var candidates []indexCandidate
+	for _, name := range sm.TableNames() {
+		t, err := sm.GetTable(name)
+		if err != nil {
+			continue
+		}
+		rows := float64(t.RowCount())
+		if rows < 1000 {
+			continue // indexing tiny tables never pays off
+		}
+		ts := stats.Get(t)
+		for col, def := range t.ColumnDefinitions() {
+			cs := ts.Columns[col]
+			if cs == nil || cs.DistinctCount == 0 {
+				continue
+			}
+			// Selectivity score: distinct/rows; 1.0 = unique column.
+			score := cs.DistinctCount / rows
+			if score < 0.5 {
+				continue
+			}
+			candidates = append(candidates, indexCandidate{
+				table: t, tname: name, col: types.ColumnID(col), colName: def.Name, score: score * rows,
+			})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].score > candidates[j].score })
+
+	built := 0
+	for _, cand := range candidates {
+		if built >= budget {
+			break
+		}
+		if err := p.buildIndex(cand); err != nil {
+			return err
+		}
+		built++
+	}
+	return nil
+}
+
+func (p *IndexSelectionPlugin) buildIndex(cand indexCandidate) error {
+	for _, c := range cand.table.Chunks() {
+		if !c.IsImmutable() || c.GetIndex(cand.col) != nil {
+			continue
+		}
+		typ := p.IndexType
+		// Group-key indexes need dictionary segments; fall back to B-trees.
+		if typ == index.GroupKey {
+			if _, ok := c.GetSegment(cand.col).(*encoding.DictionarySegment[int64]); !ok {
+				typ = index.BTree
+			}
+		}
+		if err := index.AddIndexToChunk(typ, c, cand.col); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.created = append(p.created, cand.tname+"."+cand.colName)
+	p.mu.Unlock()
+	return nil
+}
+
+// EncodingAdvisorPlugin picks an encoding per segment from its statistics
+// (paper §3.2: "an automatic selection of efficient encoding and
+// compression schemes per chunk"): few distinct values -> dictionary, long
+// runs -> run-length, dense integer ranges -> frame-of-reference, else
+// unencoded.
+type EncodingAdvisorPlugin struct {
+	mu      sync.Mutex
+	engine  *pipeline.Engine
+	applied map[string]string // "table.column" -> encoding name
+}
+
+// Name implements Plugin.
+func (p *EncodingAdvisorPlugin) Name() string { return "encoding_advisor" }
+
+// Description implements Plugin.
+func (p *EncodingAdvisorPlugin) Description() string {
+	return "self-driving encoding selection: chooses per-column encodings from statistics"
+}
+
+// Start implements Plugin.
+func (p *EncodingAdvisorPlugin) Start(engine *pipeline.Engine) error {
+	p.mu.Lock()
+	p.engine = engine
+	p.applied = make(map[string]string)
+	p.mu.Unlock()
+	return p.Advise()
+}
+
+// Stop implements Plugin.
+func (p *EncodingAdvisorPlugin) Stop() error { return nil }
+
+// Applied reports the chosen encodings.
+func (p *EncodingAdvisorPlugin) Applied() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.applied))
+	for k, v := range p.applied {
+		out[k] = v
+	}
+	return out
+}
+
+// Advise encodes all immutable, still-unencoded chunks with the per-column
+// choice.
+func (p *EncodingAdvisorPlugin) Advise() error {
+	p.mu.Lock()
+	engine := p.engine
+	p.mu.Unlock()
+	if engine == nil {
+		return fmt.Errorf("plugin: not started")
+	}
+	sm := engine.StorageManager()
+	stats := engine.Statistics()
+	for _, name := range sm.TableNames() {
+		t, err := sm.GetTable(name)
+		if err != nil {
+			continue
+		}
+		rows := float64(t.RowCount())
+		if rows == 0 {
+			continue
+		}
+		ts := stats.Get(t)
+		perColumn := make(map[types.ColumnID]encoding.Spec)
+		for col, def := range t.ColumnDefinitions() {
+			spec := p.choose(ts.Columns[col], rows, def.Type)
+			perColumn[types.ColumnID(col)] = spec
+			p.mu.Lock()
+			p.applied[name+"."+def.Name] = spec.String()
+			p.mu.Unlock()
+		}
+		for _, c := range t.Chunks() {
+			if !c.IsImmutable() {
+				continue
+			}
+			if err := encoding.EncodeChunk(c, encoding.Spec{Encoding: encoding.Unencoded}, perColumn); err != nil {
+				// Already-encoded chunks are left as they are.
+				continue
+			}
+		}
+	}
+	return nil
+}
+
+func (p *EncodingAdvisorPlugin) choose(cs *statistics.ColumnStatistics, rows float64, dt types.DataType) encoding.Spec {
+	if cs == nil {
+		return encoding.Spec{Encoding: encoding.Unencoded}
+	}
+	distinctRatio := cs.DistinctCount / rows
+	switch {
+	case distinctRatio < 0.001:
+		// Almost constant: long runs are likely.
+		return encoding.Spec{Encoding: encoding.RunLength}
+	case distinctRatio < 0.5:
+		return encoding.Spec{Encoding: encoding.Dictionary, Compression: encoding.BitPacked128}
+	case dt == types.TypeInt64 && cs.Max-cs.Min < rows*16:
+		// Dense integer domain: offsets from a frame stay small.
+		return encoding.Spec{Encoding: encoding.FrameOfReference, Compression: encoding.FixedSizeByteAligned}
+	default:
+		return encoding.Spec{Encoding: encoding.Unencoded}
+	}
+}

@@ -1,0 +1,638 @@
+// Package rowengine is the row-oriented baseline engine of the Figure 6
+// comparison (DESIGN.md substitution S4). It shares Hyrise's SQL frontend
+// (parser, translator, optimizer) but executes plans over row-major table
+// copies with tuple-at-a-time expression evaluation — the classic
+// row-store architecture: no chunking, no compression, no pruning, no
+// vectorization, dynamic Value boxing per cell.
+package rowengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/lqp"
+	"hyrise/internal/optimizer"
+	"hyrise/internal/sqlparser"
+	"hyrise/internal/statistics"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// RowTable is a row-major relation.
+type RowTable struct {
+	Defs []storage.ColumnDefinition
+	Rows [][]types.Value
+}
+
+// Engine executes SQL over row-major tables.
+type Engine struct {
+	tables map[string]*RowTable
+	// columnar mirrors the row tables so the shared translator/optimizer can
+	// resolve schemas and statistics.
+	columnar *storage.StorageManager
+	opt      *optimizer.Optimizer
+	subCache map[string]any
+}
+
+// NewFromStorage copies every table of a columnar catalog into row-major
+// form.
+func NewFromStorage(sm *storage.StorageManager) *Engine {
+	e := &Engine{
+		tables:   make(map[string]*RowTable),
+		columnar: sm,
+		opt:      optimizer.NewDefault(statistics.NewCache(statistics.EqualHeight)),
+		subCache: make(map[string]any),
+	}
+	for _, name := range sm.TableNames() {
+		t, err := sm.GetTable(name)
+		if err != nil {
+			continue
+		}
+		rt := &RowTable{Defs: t.ColumnDefinitions()}
+		for ci := 0; ci < t.ChunkCount(); ci++ {
+			c := t.GetChunk(types.ChunkID(ci))
+			for o := 0; o < c.Size(); o++ {
+				row := make([]types.Value, t.ColumnCount())
+				for col := 0; col < t.ColumnCount(); col++ {
+					row[col] = c.GetSegment(types.ColumnID(col)).ValueAt(types.ChunkOffset(o))
+				}
+				rt.Rows = append(rt.Rows, row)
+			}
+		}
+		e.tables[strings.ToLower(name)] = rt
+	}
+	return e
+}
+
+// Query parses, plans (with the shared optimizer), and executes SQL,
+// returning rows and column names.
+func (e *Engine) Query(sql string) ([][]types.Value, []string, error) {
+	stmt, err := sqlparser.ParseOne(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := &lqp.Translator{SM: e.columnar}
+	plan, err := tr.Translate(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err = e.opt.Optimize(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := e.exec(plan, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, plan.Schema().Names(), nil
+}
+
+// exec interprets the LQP tuple-at-a-time.
+func (e *Engine) exec(node lqp.Node, params []types.Value) ([][]types.Value, error) {
+	switch n := node.(type) {
+	case *lqp.StoredTableNode:
+		rt, ok := e.tables[strings.ToLower(n.TableName)]
+		if !ok {
+			return nil, fmt.Errorf("rowengine: no table %q", n.TableName)
+		}
+		return rt.Rows, nil
+
+	case *lqp.DummyTableNode:
+		return [][]types.Value{{}}, nil
+
+	case *lqp.ValidateNode, *lqp.AliasNode:
+		return e.exec(n.Inputs()[0], params)
+
+	case *lqp.PredicateNode:
+		in, err := e.exec(n.Inputs()[0], params)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]types.Value
+		for _, row := range in {
+			keep, err := e.evalBool(n.Predicate, row, params)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+
+	case *lqp.ProjectionNode:
+		in, err := e.exec(n.Inputs()[0], params)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]types.Value, len(in))
+		for i, row := range in {
+			proj := make([]types.Value, len(n.Exprs))
+			for j, expr := range n.Exprs {
+				v, err := e.evalRow(expr, row, params)
+				if err != nil {
+					return nil, err
+				}
+				proj[j] = v
+			}
+			out[i] = proj
+		}
+		return out, nil
+
+	case *lqp.JoinNode:
+		return e.execJoin(n, params)
+
+	case *lqp.AggregateNode:
+		return e.execAggregate(n, params)
+
+	case *lqp.SortNode:
+		in, err := e.exec(n.Inputs()[0], params)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([][]types.Value, len(in))
+		for i, row := range in {
+			keys[i] = make([]types.Value, len(n.Keys))
+			for k, key := range n.Keys {
+				v, err := e.evalRow(key.Expr, row, params)
+				if err != nil {
+					return nil, err
+				}
+				keys[i][k] = v
+			}
+		}
+		perm := make([]int, len(in))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			for k, key := range n.Keys {
+				c := compareNullsLast(keys[perm[a]][k], keys[perm[b]][k])
+				if c != 0 {
+					if key.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		out := make([][]types.Value, len(in))
+		for i, p := range perm {
+			out[i] = in[p]
+		}
+		return out, nil
+
+	case *lqp.LimitNode:
+		in, err := e.exec(n.Inputs()[0], params)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(in)) > n.N {
+			in = in[:n.N]
+		}
+		return in, nil
+
+	default:
+		return nil, fmt.Errorf("rowengine: unsupported node %T", node)
+	}
+}
+
+func compareNullsLast(a, b types.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return 1
+	case b.IsNull():
+		return -1
+	}
+	c, _ := types.Compare(a, b)
+	return c
+}
+
+func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Value, error) {
+	left, err := e.exec(n.Inputs()[0], params)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.exec(n.Inputs()[1], params)
+	if err != nil {
+		return nil, err
+	}
+	nLeft := len(n.Inputs()[0].Schema())
+
+	// Collect equi predicates as a composite hash key; the rest evaluate
+	// per pair.
+	leftKeys, rightKeys, residuals, hasEqui := operatorsSplit(n.Predicates, nLeft)
+
+	combined := func(l, r []types.Value) []types.Value {
+		row := make([]types.Value, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		return row
+	}
+	nullRight := make([]types.Value, len(n.Inputs()[1].Schema()))
+	for i := range nullRight {
+		nullRight[i] = types.NullValue
+	}
+
+	residualOK := func(l, r []types.Value) (bool, error) {
+		if len(residuals) == 0 {
+			return true, nil
+		}
+		row := combined(l, r)
+		for _, res := range residuals {
+			ok, err := e.evalBool(res, row, params)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+
+	var candidates func(l []types.Value) ([][]types.Value, error)
+	if hasEqui {
+		keyOf := func(row []types.Value, keys []expression.Expression) (string, bool, error) {
+			var sb strings.Builder
+			for _, k := range keys {
+				kv, err := e.evalRow(k, row, params)
+				if err != nil {
+					return "", false, err
+				}
+				if kv.IsNull() {
+					return "", false, nil
+				}
+				kv = canonical(kv)
+				sb.WriteByte(byte('0' + kv.Type))
+				sb.WriteString(kv.String())
+				sb.WriteByte(0)
+			}
+			return sb.String(), true, nil
+		}
+		ht := make(map[string][][]types.Value, len(right))
+		for _, r := range right {
+			k, ok, err := keyOf(r, rightKeys)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			ht[k] = append(ht[k], r)
+		}
+		candidates = func(l []types.Value) ([][]types.Value, error) {
+			k, ok, err := keyOf(l, leftKeys)
+			if err != nil || !ok {
+				return nil, err
+			}
+			return ht[k], nil
+		}
+	} else {
+		candidates = func([]types.Value) ([][]types.Value, error) { return right, nil }
+	}
+
+	var out [][]types.Value
+	for _, l := range left {
+		cands, err := candidates(l)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, r := range cands {
+			ok, err := residualOK(l, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			switch n.Kind {
+			case lqp.JoinSemi, lqp.JoinAnti:
+			default:
+				out = append(out, combined(l, r))
+			}
+			if n.Kind == lqp.JoinSemi || n.Kind == lqp.JoinAnti {
+				break
+			}
+		}
+		switch n.Kind {
+		case lqp.JoinSemi:
+			if matched {
+				out = append(out, l)
+			}
+		case lqp.JoinAnti:
+			if !matched {
+				out = append(out, l)
+			}
+		case lqp.JoinLeft:
+			if !matched {
+				out = append(out, combined(l, nullRight))
+			}
+		}
+	}
+	return out, nil
+}
+
+func canonical(v types.Value) types.Value {
+	if v.Type == types.TypeFloat64 && v.F == float64(int64(v.F)) {
+		return types.Int(int64(v.F))
+	}
+	return v
+}
+
+// operatorsSplit mirrors the PQP translator's equi-predicate split without
+// importing the operators package (no dependency between the engines).
+func operatorsSplit(preds []expression.Expression, nLeft int) (leftKeys, rightKeys, residuals []expression.Expression, ok bool) {
+	for _, p := range preds {
+		cmp, isCmp := p.(*expression.Comparison)
+		if isCmp && cmp.Op == expression.Eq {
+			lSide, lok := side(cmp.Left, nLeft)
+			rSide, rok := side(cmp.Right, nLeft)
+			if lok && rok {
+				switch {
+				case lSide == 0 && rSide == 1:
+					leftKeys = append(leftKeys, cmp.Left)
+					rightKeys = append(rightKeys, shift(cmp.Right, -nLeft))
+					continue
+				case lSide == 1 && rSide == 0:
+					leftKeys = append(leftKeys, cmp.Right)
+					rightKeys = append(rightKeys, shift(cmp.Left, -nLeft))
+					continue
+				}
+			}
+		}
+		residuals = append(residuals, p)
+	}
+	return leftKeys, rightKeys, residuals, len(leftKeys) > 0
+}
+
+func side(e expression.Expression, nLeft int) (int, bool) {
+	s := -1
+	ok := true
+	expression.VisitAll(e, func(x expression.Expression) {
+		if bc, isCol := x.(*expression.BoundColumn); isCol {
+			v := 0
+			if bc.Index >= nLeft {
+				v = 1
+			}
+			if s == -1 {
+				s = v
+			} else if s != v {
+				ok = false
+			}
+		}
+	})
+	if s == -1 {
+		return 0, false
+	}
+	return s, ok
+}
+
+func shift(e expression.Expression, delta int) expression.Expression {
+	return expression.Transform(e, func(x expression.Expression) expression.Expression {
+		if bc, ok := x.(*expression.BoundColumn); ok {
+			return &expression.BoundColumn{Index: bc.Index + delta, Name: bc.Name, DT: bc.DT}
+		}
+		return nil
+	})
+}
+
+func (e *Engine) execAggregate(n *lqp.AggregateNode, params []types.Value) ([][]types.Value, error) {
+	in, err := e.exec(n.Inputs()[0], params)
+	if err != nil {
+		return nil, err
+	}
+	type state struct {
+		keys     []types.Value
+		sums     []float64
+		counts   []int64
+		mins     []types.Value
+		maxs     []types.Value
+		distinct []map[types.Value]struct{}
+		seen     []bool
+	}
+	groups := make(map[string]*state)
+	var order []string
+
+	var keyBuf strings.Builder
+	for _, row := range in {
+		keyBuf.Reset()
+		keys := make([]types.Value, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			v, err := e.evalRow(g, row, params)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+			keyBuf.WriteByte(byte('0' + v.Type))
+			keyBuf.WriteString(v.String())
+			keyBuf.WriteByte(0)
+		}
+		k := keyBuf.String()
+		st, ok := groups[k]
+		if !ok {
+			st = &state{
+				keys:     keys,
+				sums:     make([]float64, len(n.Aggregates)),
+				counts:   make([]int64, len(n.Aggregates)),
+				mins:     make([]types.Value, len(n.Aggregates)),
+				maxs:     make([]types.Value, len(n.Aggregates)),
+				distinct: make([]map[types.Value]struct{}, len(n.Aggregates)),
+				seen:     make([]bool, len(n.Aggregates)),
+			}
+			groups[k] = st
+			order = append(order, k)
+		}
+		for i, agg := range n.Aggregates {
+			if agg.Fn == expression.AggCountStar {
+				st.counts[i]++
+				continue
+			}
+			v, err := e.evalRow(agg.Arg, row, params)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			switch agg.Fn {
+			case expression.AggCount:
+				st.counts[i]++
+			case expression.AggCountDistinct:
+				if st.distinct[i] == nil {
+					st.distinct[i] = make(map[types.Value]struct{})
+				}
+				st.distinct[i][v] = struct{}{}
+			case expression.AggSum, expression.AggAvg:
+				st.sums[i] += v.AsFloat()
+				st.counts[i]++
+				st.seen[i] = true
+			case expression.AggMin:
+				if !st.seen[i] || compareNullsLast(v, st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+				st.seen[i] = true
+			case expression.AggMax:
+				if !st.seen[i] || compareNullsLast(v, st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+				st.seen[i] = true
+			}
+		}
+	}
+	if len(n.GroupBy) == 0 && len(groups) == 0 {
+		st := &state{
+			sums:     make([]float64, len(n.Aggregates)),
+			counts:   make([]int64, len(n.Aggregates)),
+			mins:     make([]types.Value, len(n.Aggregates)),
+			maxs:     make([]types.Value, len(n.Aggregates)),
+			distinct: make([]map[types.Value]struct{}, len(n.Aggregates)),
+			seen:     make([]bool, len(n.Aggregates)),
+		}
+		groups[""] = st
+		order = append(order, "")
+	}
+
+	schema := n.Schema()
+	var out [][]types.Value
+	for _, k := range order {
+		st := groups[k]
+		row := make([]types.Value, 0, len(schema))
+		row = append(row, st.keys...)
+		for i, agg := range n.Aggregates {
+			switch agg.Fn {
+			case expression.AggCountStar, expression.AggCount:
+				row = append(row, types.Int(st.counts[i]))
+			case expression.AggCountDistinct:
+				row = append(row, types.Int(int64(len(st.distinct[i]))))
+			case expression.AggSum:
+				if !st.seen[i] {
+					row = append(row, types.NullValue)
+				} else if schema[len(st.keys)+i].DT == types.TypeInt64 {
+					row = append(row, types.Int(int64(st.sums[i])))
+				} else {
+					row = append(row, types.Float(st.sums[i]))
+				}
+			case expression.AggAvg:
+				if st.counts[i] == 0 {
+					row = append(row, types.NullValue)
+				} else {
+					row = append(row, types.Float(st.sums[i]/float64(st.counts[i])))
+				}
+			case expression.AggMin:
+				if !st.seen[i] {
+					row = append(row, types.NullValue)
+				} else {
+					row = append(row, st.mins[i])
+				}
+			case expression.AggMax:
+				if !st.seen[i] {
+					row = append(row, types.NullValue)
+				} else {
+					row = append(row, st.maxs[i])
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// evalRow evaluates an expression against one row (tuple-at-a-time, N=1
+// evaluation contexts — deliberately the slow dynamic path).
+func (e *Engine) evalRow(expr expression.Expression, row []types.Value, params []types.Value) (types.Value, error) {
+	ec := e.rowContext(row, params)
+	v, err := expression.Evaluate(expr, ec)
+	if err != nil {
+		return types.NullValue, err
+	}
+	return v.ValueAt(0), nil
+}
+
+func (e *Engine) evalBool(expr expression.Expression, row []types.Value, params []types.Value) (bool, error) {
+	ec := e.rowContext(row, params)
+	keep, err := expression.EvaluateBool(expr, ec)
+	if err != nil {
+		return false, err
+	}
+	return keep[0], nil
+}
+
+func (e *Engine) rowContext(row []types.Value, params []types.Value) *expression.Context {
+	ec := &expression.Context{
+		N:      1,
+		Params: params,
+		Column: func(i int) (*expression.Vector, error) {
+			if i >= len(row) {
+				return nil, fmt.Errorf("rowengine: column %d out of range", i)
+			}
+			return expression.ConstVector(row[i], 1), nil
+		},
+	}
+	ec.ExecScalarSubquery = func(sub *expression.Subquery, ps []types.Value) (types.Value, error) {
+		key := fmt.Sprintf("s:%p:%v", sub, ps)
+		if v, ok := e.subCache[key]; ok {
+			return v.(types.Value), nil
+		}
+		plan, ok := sub.Plan.(lqp.Node)
+		if !ok {
+			return types.NullValue, fmt.Errorf("rowengine: subquery plan is %T", sub.Plan)
+		}
+		rows, err := e.exec(plan, ps)
+		if err != nil {
+			return types.NullValue, err
+		}
+		out := types.NullValue
+		if len(rows) == 1 && len(rows[0]) > 0 {
+			out = rows[0][0]
+		} else if len(rows) > 1 {
+			return types.NullValue, fmt.Errorf("rowengine: scalar subquery returned %d rows", len(rows))
+		}
+		e.subCache[key] = out
+		return out, nil
+	}
+	ec.ExecInSubquery = func(sub *expression.Subquery, ps []types.Value) (*expression.ValueSet, error) {
+		key := fmt.Sprintf("i:%p:%v", sub, ps)
+		if v, ok := e.subCache[key]; ok {
+			return v.(*expression.ValueSet), nil
+		}
+		plan, ok := sub.Plan.(lqp.Node)
+		if !ok {
+			return nil, fmt.Errorf("rowengine: subquery plan is %T", sub.Plan)
+		}
+		rows, err := e.exec(plan, ps)
+		if err != nil {
+			return nil, err
+		}
+		set := expression.NewValueSet()
+		for _, r := range rows {
+			if len(r) > 0 {
+				set.Add(r[0])
+			}
+		}
+		e.subCache[key] = set
+		return set, nil
+	}
+	ec.ExecExistsSubquery = func(sub *expression.Subquery, ps []types.Value) (bool, error) {
+		key := fmt.Sprintf("e:%p:%v", sub, ps)
+		if v, ok := e.subCache[key]; ok {
+			return v.(bool), nil
+		}
+		plan, ok := sub.Plan.(lqp.Node)
+		if !ok {
+			return false, fmt.Errorf("rowengine: subquery plan is %T", sub.Plan)
+		}
+		rows, err := e.exec(plan, ps)
+		if err != nil {
+			return false, err
+		}
+		out := len(rows) > 0
+		e.subCache[key] = out
+		return out, nil
+	}
+	return ec
+}

@@ -1,0 +1,212 @@
+package scheduler
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func schedulers() map[string]func() Scheduler {
+	return map[string]func() Scheduler{
+		"immediate": func() Scheduler { return NewImmediateScheduler() },
+		"nodequeue": func() Scheduler { return NewNodeQueueScheduler(2, 4) },
+	}
+}
+
+func TestSchedulerRunsTasks(t *testing.T) {
+	for name, mk := range schedulers() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Shutdown()
+			var count atomic.Int32
+			tasks := make([]*Task, 20)
+			for i := range tasks {
+				tasks[i] = NewTask(func() { count.Add(1) })
+			}
+			s.Schedule(tasks...)
+			WaitAll(tasks)
+			if count.Load() != 20 {
+				t.Errorf("ran %d tasks, want 20", count.Load())
+			}
+			for _, task := range tasks {
+				if !task.IsDone() {
+					t.Error("task not done after WaitAll")
+				}
+			}
+		})
+	}
+}
+
+func TestDependenciesOrder(t *testing.T) {
+	for name, mk := range schedulers() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Shutdown()
+			// The chain dependency guarantees the appends never race.
+			var order []int
+			record := func(id int) func() {
+				return func() { order = append(order, id) }
+			}
+			a := NewTask(record(1)).Named("a")
+			b := NewTask(record(2)).Named("b")
+			c := NewTask(record(3)).Named("c")
+			b.DependsOn(a)
+			c.DependsOn(b)
+			// Schedule in reverse to prove ordering comes from dependencies.
+			s.Schedule(c, b, a)
+			c.Wait()
+			if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+				t.Errorf("order = %v", order)
+			}
+			if a.Name() != "a" {
+				t.Error("name lost")
+			}
+		})
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	for name, mk := range schedulers() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Shutdown()
+			var sum atomic.Int64
+			src := NewTask(func() { sum.Add(1) })
+			l := NewTask(func() { sum.Add(10) })
+			r := NewTask(func() { sum.Add(100) })
+			sink := NewTask(func() {
+				if sum.Load() != 111 {
+					t.Errorf("sink ran before inputs: %d", sum.Load())
+				}
+			})
+			l.DependsOn(src)
+			r.DependsOn(src)
+			sink.DependsOn(l)
+			sink.DependsOn(r)
+			s.Schedule(src, l, r, sink)
+			sink.Wait()
+		})
+	}
+}
+
+func TestNestedTaskSpawning(t *testing.T) {
+	// A task that spawns subtasks and waits for them must not deadlock,
+	// even when all workers are busy with such tasks.
+	s := NewNodeQueueScheduler(1, 2)
+	defer s.Shutdown()
+	var leaves atomic.Int32
+	outer := make([]*Task, 4)
+	for i := range outer {
+		outer[i] = NewTask(func() {
+			inner := make([]*Task, 4)
+			for j := range inner {
+				inner[j] = NewTask(func() { leaves.Add(1) })
+			}
+			s.Schedule(inner...)
+			WaitAll(inner)
+		})
+	}
+	s.Schedule(outer...)
+	done := make(chan struct{})
+	go func() {
+		WaitAll(outer)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested task spawning deadlocked")
+	}
+	if leaves.Load() != 16 {
+		t.Errorf("leaves = %d, want 16", leaves.Load())
+	}
+}
+
+func TestWorkStealingAcrossNodes(t *testing.T) {
+	s := NewNodeQueueScheduler(2, 2)
+	defer s.Shutdown()
+	// Pin everything to node 0; the node-1 worker must steal to finish fast.
+	var count atomic.Int32
+	tasks := make([]*Task, 50)
+	for i := range tasks {
+		tasks[i] = NewTask(func() {
+			time.Sleep(time.Millisecond)
+			count.Add(1)
+		})
+		tasks[i].SetPreferredNode(0)
+	}
+	start := time.Now()
+	s.Schedule(tasks...)
+	WaitAll(tasks)
+	elapsed := time.Since(start)
+	if count.Load() != 50 {
+		t.Fatalf("count = %d", count.Load())
+	}
+	// Serial execution would take >= 50ms; with stealing it should be
+	// clearly below that. Generous bound to avoid flakiness.
+	if elapsed > 45*time.Millisecond {
+		t.Logf("warning: stealing may not have helped (took %v)", elapsed)
+	}
+}
+
+func TestRunJobs(t *testing.T) {
+	for name, mk := range schedulers() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Shutdown()
+			var sum atomic.Int64
+			jobs := make([]func(), 10)
+			for i := range jobs {
+				v := int64(i)
+				jobs[i] = func() { sum.Add(v) }
+			}
+			RunJobs(s, jobs)
+			if sum.Load() != 45 {
+				t.Errorf("sum = %d", sum.Load())
+			}
+			// Degenerate cases.
+			RunJobs(s, nil)
+			ran := false
+			RunJobs(s, []func(){func() { ran = true }})
+			if !ran {
+				t.Error("single job not run inline")
+			}
+		})
+	}
+}
+
+func TestWorkerAndNodeCounts(t *testing.T) {
+	s := NewNodeQueueScheduler(3, 6)
+	defer s.Shutdown()
+	if s.WorkerCount() != 6 || s.NodeCount() != 3 {
+		t.Errorf("workers=%d nodes=%d", s.WorkerCount(), s.NodeCount())
+	}
+	// Defaults.
+	d := NewNodeQueueScheduler(0, 0)
+	defer d.Shutdown()
+	if d.NodeCount() != 1 || d.WorkerCount() < 1 {
+		t.Errorf("default workers=%d nodes=%d", d.WorkerCount(), d.NodeCount())
+	}
+	if NewImmediateScheduler().WorkerCount() != 1 {
+		t.Error("immediate worker count should be 1")
+	}
+}
+
+func TestManyTasksStress(t *testing.T) {
+	s := NewNodeQueueScheduler(4, 8)
+	defer s.Shutdown()
+	var count atomic.Int32
+	const n = 5000
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tasks[i] = NewTask(func() { count.Add(1) })
+		if i > 0 && i%7 == 0 {
+			tasks[i].DependsOn(tasks[i-1])
+		}
+	}
+	s.Schedule(tasks...)
+	WaitAll(tasks)
+	if count.Load() != n {
+		t.Errorf("count = %d, want %d", count.Load(), n)
+	}
+}

@@ -1,0 +1,482 @@
+// Package server implements Hyrise's network interface (paper §2.5): a
+// TCP server speaking the PostgreSQL wire protocol, so psql and existing
+// PostgreSQL drivers can talk to the database. Like the paper's
+// implementation, only the features needed for receiving SQL queries and
+// returning results exist — no authentication, no SSL — which keeps the
+// implementation lean.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"hyrise/internal/pipeline"
+	"hyrise/internal/types"
+)
+
+// Server accepts PostgreSQL wire protocol connections.
+type Server struct {
+	engine *pipeline.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// New creates a server over an engine.
+func New(engine *pipeline.Engine) *Server {
+	return &Server{engine: engine, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the address (e.g. "127.0.0.1:5432") and returns the actual
+// address (useful with port 0).
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	return l.Addr().String(), nil
+}
+
+// Serve accepts connections until Close is called.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	l := s.listener
+	s.mu.Unlock()
+	if l == nil {
+		return fmt.Errorf("server: Listen first")
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// --- protocol ---------------------------------------------------------------
+
+const (
+	sslRequestCode    = 80877103
+	startupVersion3   = 196608
+	cancelRequestCode = 80877102
+)
+
+type wire struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	w := &wire{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+
+	if err := s.startup(w); err != nil {
+		return
+	}
+	session := s.engine.NewSession()
+	// Prepared statements of the extended protocol, per connection.
+	prepared := map[string]string{}
+	portals := map[string]boundPortal{}
+
+	for {
+		msgType, payload, err := w.readMessage()
+		if err != nil {
+			return
+		}
+		switch msgType {
+		case 'Q':
+			sql := cString(payload)
+			s.simpleQuery(w, session, sql)
+		case 'P': // Parse
+			name, rest := splitCString(payload)
+			sql, _ := splitCString(rest)
+			prepared[name] = sql
+			w.writeMessage('1', nil) // ParseComplete
+		case 'B': // Bind
+			portal, stmt, params, err := parseBind(payload)
+			if err != nil {
+				w.writeError(err.Error())
+				break
+			}
+			sql, ok := prepared[stmt]
+			if !ok {
+				w.writeError(fmt.Sprintf("unknown prepared statement %q", stmt))
+				break
+			}
+			portals[portal] = boundPortal{sql: sql, params: params}
+			w.writeMessage('2', nil) // BindComplete
+		case 'D': // Describe: minimal NoData answer; rows follow on Execute.
+			w.writeMessage('n', nil)
+		case 'E': // Execute
+			portal, _ := splitCString(payload)
+			p, ok := portals[portal]
+			if !ok {
+				w.writeError(fmt.Sprintf("unknown portal %q", portal))
+				break
+			}
+			s.executePortal(w, session, p)
+		case 'S': // Sync
+			w.writeReady(session)
+		case 'H': // Flush
+			_ = w.w.Flush()
+		case 'C': // Close (statement/portal)
+			w.writeMessage('3', nil) // CloseComplete
+		case 'X': // Terminate
+			return
+		default:
+			w.writeError(fmt.Sprintf("unsupported message %q", msgType))
+			w.writeReady(session)
+		}
+	}
+}
+
+type boundPortal struct {
+	sql    string
+	params []string
+}
+
+// startup negotiates the connection: reject SSL, accept protocol 3.
+func (s *Server) startup(w *wire) error {
+	for {
+		length, err := w.readInt32()
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, length-4)
+		if _, err := io.ReadFull(w.r, payload); err != nil {
+			return err
+		}
+		if len(payload) < 4 {
+			return errors.New("short startup packet")
+		}
+		code := int32(binary.BigEndian.Uint32(payload[:4]))
+		switch code {
+		case sslRequestCode:
+			// No SSL (paper: "we ... do not implement features such as user
+			// authentication or SSL").
+			if _, err := w.w.Write([]byte{'N'}); err != nil {
+				return err
+			}
+			_ = w.w.Flush()
+			continue
+		case cancelRequestCode:
+			return errors.New("cancel not supported")
+		case startupVersion3:
+			// AuthenticationOk.
+			auth := make([]byte, 4)
+			w.writeMessage('R', auth)
+			w.writeParameterStatus("server_version", "13.0 (Hyrise-Go)")
+			w.writeParameterStatus("server_encoding", "UTF8")
+			w.writeParameterStatus("client_encoding", "UTF8")
+			// BackendKeyData (dummy).
+			key := make([]byte, 8)
+			binary.BigEndian.PutUint32(key[:4], 1)
+			binary.BigEndian.PutUint32(key[4:], 1)
+			w.writeMessage('K', key)
+			w.writeReadyIdle()
+			return w.w.Flush()
+		default:
+			return fmt.Errorf("unsupported protocol %d", code)
+		}
+	}
+}
+
+func (s *Server) simpleQuery(w *wire, session *pipeline.Session, sql string) {
+	trimmed := strings.TrimSpace(sql)
+	if trimmed == "" || trimmed == ";" {
+		w.writeMessage('I', nil) // EmptyQueryResponse
+		w.writeReady(session)
+		return
+	}
+	results, err := session.Execute(sql)
+	for _, res := range results {
+		w.writeResult(res)
+	}
+	if err != nil {
+		w.writeError(err.Error())
+	}
+	w.writeReady(session)
+}
+
+func (s *Server) executePortal(w *wire, session *pipeline.Session, p boundPortal) {
+	// Bind text parameters positionally (one-shot prepared execution).
+	vals := make([]types.Value, len(p.params))
+	for i, raw := range p.params {
+		vals[i] = inferParam(raw)
+	}
+	res, err := session.ExecuteWithParams(p.sql, vals)
+	if err != nil {
+		w.writeError(err.Error())
+		return
+	}
+	w.writeResult(res)
+}
+
+// inferParam guesses the type of a text-format parameter.
+func inferParam(raw string) types.Value {
+	if v, err := types.ParseValue(types.TypeInt64, raw); err == nil {
+		return v
+	}
+	if v, err := types.ParseValue(types.TypeFloat64, raw); err == nil {
+		return v
+	}
+	return types.Str(raw)
+}
+
+// --- message IO ------------------------------------------------------------------
+
+func (w *wire) readInt32() (int32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(w.r, buf[:]); err != nil {
+		return 0, err
+	}
+	return int32(binary.BigEndian.Uint32(buf[:])), nil
+}
+
+func (w *wire) readMessage() (byte, []byte, error) {
+	msgType, err := w.r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	length, err := w.readInt32()
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := make([]byte, length-4)
+	if _, err := io.ReadFull(w.r, payload); err != nil {
+		return 0, nil, err
+	}
+	return msgType, payload, nil
+}
+
+func (w *wire) writeMessage(msgType byte, payload []byte) {
+	header := make([]byte, 5)
+	header[0] = msgType
+	binary.BigEndian.PutUint32(header[1:], uint32(len(payload)+4))
+	_, _ = w.w.Write(header)
+	_, _ = w.w.Write(payload)
+}
+
+func (w *wire) writeParameterStatus(key, value string) {
+	payload := append([]byte(key), 0)
+	payload = append(payload, []byte(value)...)
+	payload = append(payload, 0)
+	w.writeMessage('S', payload)
+}
+
+func (w *wire) writeReadyIdle() {
+	w.writeMessage('Z', []byte{'I'})
+}
+
+func (w *wire) writeReady(session *pipeline.Session) {
+	state := byte('I')
+	if session.InTransaction() {
+		state = 'T'
+	}
+	w.writeMessage('Z', []byte{state})
+	_ = w.w.Flush()
+}
+
+func (w *wire) writeError(msg string) {
+	var payload []byte
+	add := func(code byte, text string) {
+		payload = append(payload, code)
+		payload = append(payload, []byte(text)...)
+		payload = append(payload, 0)
+	}
+	add('S', "ERROR")
+	add('C', "XX000")
+	add('M', msg)
+	payload = append(payload, 0)
+	w.writeMessage('E', payload)
+}
+
+// writeResult renders a pipeline result as RowDescription + DataRows +
+// CommandComplete.
+func (w *wire) writeResult(res *pipeline.Result) {
+	if res == nil {
+		return
+	}
+	if res.Table != nil && len(res.Columns) > 0 {
+		w.writeRowDescription(res)
+		rows := pipeline.ValueRows(res.Table)
+		for _, row := range rows {
+			w.writeDataRow(row)
+		}
+		w.writeCommandComplete(fmt.Sprintf("SELECT %d", len(rows)))
+		return
+	}
+	switch res.Tag {
+	case "INSERT":
+		w.writeCommandComplete(fmt.Sprintf("INSERT 0 %d", res.RowsAffected))
+	case "UPDATE", "DELETE":
+		w.writeCommandComplete(fmt.Sprintf("%s %d", res.Tag, res.RowsAffected))
+	default:
+		w.writeCommandComplete(res.Tag)
+	}
+}
+
+// PostgreSQL type OIDs for the wire row description.
+const (
+	oidInt8   = 20
+	oidFloat8 = 701
+	oidText   = 25
+)
+
+func (w *wire) writeRowDescription(res *pipeline.Result) {
+	defs := res.Table.ColumnDefinitions()
+	var payload []byte
+	n := make([]byte, 2)
+	binary.BigEndian.PutUint16(n, uint16(len(defs)))
+	payload = append(payload, n...)
+	for i, d := range defs {
+		name := d.Name
+		if i < len(res.Columns) {
+			name = res.Columns[i]
+		}
+		payload = append(payload, []byte(name)...)
+		payload = append(payload, 0)
+		field := make([]byte, 18)
+		var oid uint32
+		switch d.Type {
+		case types.TypeInt64:
+			oid = oidInt8
+		case types.TypeFloat64:
+			oid = oidFloat8
+		default:
+			oid = oidText
+		}
+		binary.BigEndian.PutUint32(field[6:10], oid)
+		binary.BigEndian.PutUint16(field[10:12], 0xFFFF) // variable size
+		binary.BigEndian.PutUint32(field[12:16], 0xFFFFFFFF)
+		payload = append(payload, field...)
+	}
+	w.writeMessage('T', payload)
+}
+
+func (w *wire) writeDataRow(row []types.Value) {
+	var payload []byte
+	n := make([]byte, 2)
+	binary.BigEndian.PutUint16(n, uint16(len(row)))
+	payload = append(payload, n...)
+	for _, v := range row {
+		if v.IsNull() {
+			null := make([]byte, 4)
+			binary.BigEndian.PutUint32(null, 0xFFFFFFFF)
+			payload = append(payload, null...)
+			continue
+		}
+		text := v.String()
+		length := make([]byte, 4)
+		binary.BigEndian.PutUint32(length, uint32(len(text)))
+		payload = append(payload, length...)
+		payload = append(payload, []byte(text)...)
+	}
+	w.writeMessage('D', payload)
+}
+
+func (w *wire) writeCommandComplete(tag string) {
+	payload := append([]byte(tag), 0)
+	w.writeMessage('C', payload)
+}
+
+// --- payload parsing ----------------------------------------------------------------
+
+func cString(b []byte) string {
+	if i := indexByte(b, 0); i >= 0 {
+		return string(b[:i])
+	}
+	return string(b)
+}
+
+func splitCString(b []byte) (string, []byte) {
+	if i := indexByte(b, 0); i >= 0 {
+		return string(b[:i]), b[i+1:]
+	}
+	return string(b), nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseBind extracts portal, statement, and text-format parameters.
+func parseBind(payload []byte) (portal, stmt string, params []string, err error) {
+	portal, rest := splitCString(payload)
+	stmt, rest = splitCString(rest)
+	if len(rest) < 2 {
+		return "", "", nil, errors.New("short bind message")
+	}
+	nFormats := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2+2*nFormats:]
+	if len(rest) < 2 {
+		return "", "", nil, errors.New("short bind message")
+	}
+	nParams := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	for i := 0; i < nParams; i++ {
+		if len(rest) < 4 {
+			return "", "", nil, errors.New("short bind parameter")
+		}
+		length := int32(binary.BigEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if length < 0 {
+			params = append(params, "") // NULL: treated as empty text
+			continue
+		}
+		if len(rest) < int(length) {
+			return "", "", nil, errors.New("short bind parameter body")
+		}
+		params = append(params, string(rest[:length]))
+		rest = rest[length:]
+	}
+	return portal, stmt, params, nil
+}

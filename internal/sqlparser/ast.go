@@ -1,0 +1,166 @@
+package sqlparser
+
+import (
+	"hyrise/internal/expression"
+	"hyrise/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	statement()
+}
+
+// SelectStatement is a full SELECT query.
+type SelectStatement struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // cross-joined; explicit JOINs nest inside TableRef
+	Where    expression.Expression
+	GroupBy  []expression.Expression
+	Having   expression.Expression
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = none
+}
+
+func (*SelectStatement) statement() {}
+
+// SelectItem is one projection of the select list.
+type SelectItem struct {
+	// Star selects all columns ("*" or "alias.*" via Qualifier).
+	Star      bool
+	Qualifier string
+	Expr      expression.Expression
+	Alias     string
+}
+
+// TableRef is a relation in the FROM clause: a named table, a derived
+// table (subquery), or a join of two refs.
+type TableRef struct {
+	// Named table.
+	Name  string
+	Alias string
+	// Derived table (subquery in FROM); Alias is mandatory then.
+	Subquery *SelectStatement
+	// Join node.
+	Join *JoinRef
+}
+
+// JoinKind enumerates join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// String names the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "Inner"
+	case JoinLeft:
+		return "Left"
+	case JoinCross:
+		return "Cross"
+	default:
+		return "?"
+	}
+}
+
+// JoinRef is an explicit JOIN ... ON ... between two table refs.
+type JoinRef struct {
+	Kind        JoinKind
+	Left, Right TableRef
+	On          expression.Expression // nil for CROSS JOIN
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expression.Expression
+	Desc bool
+}
+
+// CreateTableStatement is CREATE TABLE.
+type CreateTableStatement struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStatement) statement() {}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	Type     types.DataType
+	Nullable bool
+}
+
+// CreateViewStatement is CREATE VIEW name AS select. The view body is kept
+// as its SQL text and re-planned on use (paper §2.6 stores the view's LQP;
+// re-planning from text is equivalent for our purposes).
+type CreateViewStatement struct {
+	Name string
+	SQL  string
+	Body *SelectStatement
+}
+
+func (*CreateViewStatement) statement() {}
+
+// DropStatement is DROP TABLE/VIEW.
+type DropStatement struct {
+	Name   string
+	IsView bool
+}
+
+func (*DropStatement) statement() {}
+
+// InsertStatement is INSERT INTO ... VALUES (...), (...).
+type InsertStatement struct {
+	Table   string
+	Columns []string // empty = all, in declaration order
+	Rows    [][]expression.Expression
+}
+
+func (*InsertStatement) statement() {}
+
+// UpdateStatement is UPDATE ... SET ... [WHERE ...].
+type UpdateStatement struct {
+	Table string
+	Set   []SetClause
+	Where expression.Expression
+}
+
+func (*UpdateStatement) statement() {}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Expr   expression.Expression
+}
+
+// DeleteStatement is DELETE FROM ... [WHERE ...].
+type DeleteStatement struct {
+	Table string
+	Where expression.Expression
+}
+
+func (*DeleteStatement) statement() {}
+
+// TransactionStatement is BEGIN/COMMIT/ROLLBACK.
+type TransactionStatement struct {
+	Kind TransactionKind
+}
+
+func (*TransactionStatement) statement() {}
+
+// TransactionKind enumerates transaction control statements.
+type TransactionKind uint8
+
+// Transaction control kinds.
+const (
+	TxBegin TransactionKind = iota
+	TxCommit
+	TxRollback
+)

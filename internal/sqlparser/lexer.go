@@ -1,0 +1,200 @@
+// Package sqlparser implements Hyrise's standalone SQL parser (paper §2.6):
+// a hand-written lexer and recursive-descent parser that turn a SQL string
+// into an abstract syntax tree of plain Go structs, independent of the rest
+// of the database. The supported dialect covers the TPC-H workload in the
+// paper's modified form (DECIMAL as FLOAT, DATE as CHAR(10)) plus the DDL
+// and DML needed to run the system end to end.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOperator // = <> < <= > >= + - * / % ( ) , . ? ;
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased, identifiers lower-cased
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// keywords recognized by the lexer (everything else is an identifier).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true, "EXISTS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"ON": true, "CROSS": true, "DISTINCT": true, "ALL": true, "ANY": true,
+	"CREATE": true, "TABLE": true, "VIEW": true, "DROP": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRUE": true,
+	"FALSE": true, "DATE": true, "SUBSTRING": true, "FOR": true,
+	"INT": true, "INTEGER": true, "BIGINT": true, "FLOAT": true,
+	"DOUBLE": true, "DECIMAL": true, "VARCHAR": true, "CHAR": true,
+	"TEXT": true, "PRIMARY": true, "KEY": true, "UNION": true,
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord(start)
+		case c >= '0' && c <= '9':
+			l.lexNumber(start)
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber(start)
+		default:
+			if err := l.lexOperator(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+	}
+}
+
+func (l *lexer) lexNumber(start int) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparser: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexOperator(start int) error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=", "!=", "||":
+		text := two
+		if text == "!=" {
+			text = "<>"
+		}
+		l.toks = append(l.toks, token{kind: tokOperator, text: text, pos: start})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', '?', ';':
+		l.toks = append(l.toks, token{kind: tokOperator, text: string(c), pos: start})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("sqlparser: unexpected character %q at offset %d", c, l.pos)
+	}
+}

@@ -1,0 +1,61 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated fragments of valid SQL:
+// every input must either parse or return an error — never panic. This
+// guards the recursive-descent code against unexpected token sequences.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"SELECT a, b FROM t WHERE a > 1 GROUP BY b HAVING count(*) > 2 ORDER BY a LIMIT 5",
+		"SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.z",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET a = a + 1 WHERE b IN (SELECT c FROM u)",
+		"CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), c DECIMAL(12,2))",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT substring(a from 1 for 2) FROM t WHERE b BETWEEN 1 AND 2",
+	}
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "(", ")", ",", "AND", "OR", "NOT", "*",
+		"=", "<", ">", "'str'", "1", "2.5", "ident", "GROUP", "BY", "NULL",
+		"IN", "EXISTS", "JOIN", "ON", "CASE", "WHEN", "END", "?", ";", ".",
+	}
+	rng := rand.New(rand.NewSource(2024))
+
+	check := func(sql string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", sql, r)
+			}
+		}()
+		_, _ = Parse(sql)
+	}
+
+	for trial := 0; trial < 3000; trial++ {
+		base := seeds[rng.Intn(len(seeds))]
+		words := strings.Fields(base)
+		switch rng.Intn(4) {
+		case 0: // delete a random word
+			if len(words) > 1 {
+				i := rng.Intn(len(words))
+				words = append(words[:i], words[i+1:]...)
+			}
+		case 1: // insert a random token
+			i := rng.Intn(len(words) + 1)
+			tok := tokens[rng.Intn(len(tokens))]
+			words = append(words[:i], append([]string{tok}, words[i:]...)...)
+		case 2: // swap two words
+			if len(words) > 1 {
+				i, j := rng.Intn(len(words)), rng.Intn(len(words))
+				words[i], words[j] = words[j], words[i]
+			}
+		case 3: // truncate
+			words = words[:rng.Intn(len(words))+1]
+		}
+		check(strings.Join(words, " "))
+	}
+}

@@ -1,0 +1,191 @@
+// Package statistics implements the optimizer's auxiliary statistics
+// (paper §2.1/§2.4): per-column histograms (equal-height, equal-width,
+// equal-distinct-count), distinct counts, null fractions, and the
+// table-level statistics objects the cardinality estimator consumes.
+package statistics
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// HistogramType selects a bin-splitting strategy.
+type HistogramType uint8
+
+const (
+	// EqualHeight bins hold (approximately) equal row counts.
+	EqualHeight HistogramType = iota
+	// EqualWidth bins cover equal value ranges.
+	EqualWidth
+	// EqualDistinctCount bins hold equal numbers of distinct values.
+	EqualDistinctCount
+)
+
+// String names the histogram type.
+func (t HistogramType) String() string {
+	switch t {
+	case EqualHeight:
+		return "EqualHeight"
+	case EqualWidth:
+		return "EqualWidth"
+	case EqualDistinctCount:
+		return "EqualDistinctCount"
+	default:
+		return "?"
+	}
+}
+
+// Histogram estimates row counts for predicates over one column. All
+// histograms operate on a float64 domain; strings are embedded order-
+// preservingly via StringToDomain.
+type Histogram struct {
+	kind    HistogramType
+	binLo   []float64 // inclusive lower edge (actual min value in bin)
+	binHi   []float64 // inclusive upper edge (actual max value in bin)
+	binRows []float64
+	binDist []float64
+	total   float64
+}
+
+// BuildHistogram builds a histogram of the given type with at most binCount
+// bins from a value->row-count map.
+func BuildHistogram(kind HistogramType, counts map[float64]int, binCount int) *Histogram {
+	h := &Histogram{kind: kind}
+	if len(counts) == 0 {
+		return h
+	}
+	if binCount < 1 {
+		binCount = 1
+	}
+	distinct := make([]float64, 0, len(counts))
+	total := 0
+	for v, c := range counts {
+		distinct = append(distinct, v)
+		total += c
+	}
+	sort.Float64s(distinct)
+	h.total = float64(total)
+
+	appendBin := func(lo, hi float64, rows, dist int) {
+		if dist == 0 {
+			return
+		}
+		h.binLo = append(h.binLo, lo)
+		h.binHi = append(h.binHi, hi)
+		h.binRows = append(h.binRows, float64(rows))
+		h.binDist = append(h.binDist, float64(dist))
+	}
+
+	switch kind {
+	case EqualWidth:
+		minV, maxV := distinct[0], distinct[len(distinct)-1]
+		width := (maxV - minV) / float64(binCount)
+		if width == 0 {
+			appendBin(minV, maxV, total, len(distinct))
+			break
+		}
+		i := 0
+		for b := 0; b < binCount; b++ {
+			edge := minV + width*float64(b+1)
+			if b == binCount-1 {
+				edge = math.Inf(1)
+			}
+			start := i
+			rows := 0
+			for i < len(distinct) && (distinct[i] < edge || b == binCount-1) {
+				rows += counts[distinct[i]]
+				i++
+			}
+			if i > start {
+				appendBin(distinct[start], distinct[i-1], rows, i-start)
+			}
+		}
+	case EqualDistinctCount:
+		perBin := (len(distinct) + binCount - 1) / binCount
+		for i := 0; i < len(distinct); i += perBin {
+			j := min(i+perBin, len(distinct))
+			rows := 0
+			for _, v := range distinct[i:j] {
+				rows += counts[v]
+			}
+			appendBin(distinct[i], distinct[j-1], rows, j-i)
+		}
+	default: // EqualHeight
+		targetRows := (total + binCount - 1) / binCount
+		i := 0
+		for i < len(distinct) {
+			start := i
+			rows := 0
+			for i < len(distinct) && (rows < targetRows || i == start) {
+				rows += counts[distinct[i]]
+				i++
+			}
+			appendBin(distinct[start], distinct[i-1], rows, i-start)
+		}
+	}
+	return h
+}
+
+// Kind returns the histogram's bin-splitting strategy.
+func (h *Histogram) Kind() HistogramType { return h.kind }
+
+// BinCount returns the number of bins.
+func (h *Histogram) BinCount() int { return len(h.binLo) }
+
+// TotalRows returns the number of rows the histogram covers.
+func (h *Histogram) TotalRows() float64 { return h.total }
+
+// EstimateEquals estimates the rows equal to v (uniformity within bins).
+func (h *Histogram) EstimateEquals(v float64) float64 {
+	for i := range h.binLo {
+		if v >= h.binLo[i] && v <= h.binHi[i] {
+			return h.binRows[i] / h.binDist[i]
+		}
+	}
+	return 0
+}
+
+// EstimateRange estimates the rows in [lo, hi]. Use math.Inf for open
+// bounds.
+func (h *Histogram) EstimateRange(lo, hi float64) float64 {
+	if lo > hi {
+		return 0
+	}
+	totalEst := 0.0
+	for i := range h.binLo {
+		bLo, bHi := h.binLo[i], h.binHi[i]
+		if bHi < lo || bLo > hi {
+			continue
+		}
+		if bLo >= lo && bHi <= hi {
+			totalEst += h.binRows[i]
+			continue
+		}
+		oLo, oHi := math.Max(bLo, lo), math.Min(bHi, hi)
+		if bHi == bLo {
+			totalEst += h.binRows[i]
+			continue
+		}
+		frac := (oHi - oLo) / (bHi - bLo)
+		// At least one distinct value's worth if the overlap is non-empty.
+		est := frac * h.binRows[i]
+		if est < h.binRows[i]/h.binDist[i] {
+			est = h.binRows[i] / h.binDist[i]
+		}
+		totalEst += est
+	}
+	return totalEst
+}
+
+// StringToDomain embeds a string order-preservingly into the float64
+// domain using its first eight bytes as a big-endian integer. Longer shared
+// prefixes collapse, which is acceptable for selectivity estimation.
+func StringToDomain(s string) float64 {
+	var b [8]byte
+	copy(b[:], s)
+	u := binary.BigEndian.Uint64(b[:])
+	// Map to [0, 2^63) to stay comfortably inside exact float range issues;
+	// relative order is what matters.
+	return float64(u >> 1)
+}

@@ -1,0 +1,237 @@
+package statistics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+func uniformCounts(n, copies int) map[float64]int {
+	m := make(map[float64]int, n)
+	for i := 0; i < n; i++ {
+		m[float64(i)] = copies
+	}
+	return m
+}
+
+func TestHistogramTypesBasics(t *testing.T) {
+	counts := uniformCounts(100, 10) // 0..99, 10 rows each, 1000 rows
+	for _, kind := range []HistogramType{EqualHeight, EqualWidth, EqualDistinctCount} {
+		h := BuildHistogram(kind, counts, 10)
+		if h.Kind() != kind {
+			t.Errorf("%v: Kind wrong", kind)
+		}
+		if h.BinCount() < 5 || h.BinCount() > 20 {
+			t.Errorf("%v: BinCount = %d", kind, h.BinCount())
+		}
+		if h.TotalRows() != 1000 {
+			t.Errorf("%v: TotalRows = %f", kind, h.TotalRows())
+		}
+		if got := h.EstimateEquals(42); got < 5 || got > 20 {
+			t.Errorf("%v: EstimateEquals(42) = %f, want ~10", kind, got)
+		}
+		if got := h.EstimateEquals(-5); got != 0 {
+			t.Errorf("%v: EstimateEquals(absent) = %f", kind, got)
+		}
+		if got := h.EstimateRange(0, 49); got < 350 || got > 650 {
+			t.Errorf("%v: EstimateRange(0,49) = %f, want ~500", kind, got)
+		}
+		if got := h.EstimateRange(math.Inf(-1), math.Inf(1)); math.Abs(got-1000) > 1 {
+			t.Errorf("%v: full range = %f, want 1000", kind, got)
+		}
+		if got := h.EstimateRange(10, 5); got != 0 {
+			t.Errorf("%v: inverted range = %f", kind, got)
+		}
+	}
+}
+
+func TestHistogramSkewedData(t *testing.T) {
+	counts := map[float64]int{1: 1000, 2: 1, 3: 1, 100: 1}
+	// Equal-height puts the heavy hitter alone in its bin, so its estimate
+	// is much better than equal-width's average.
+	eh := BuildHistogram(EqualHeight, counts, 4)
+	if got := eh.EstimateEquals(1); got < 500 {
+		t.Errorf("EqualHeight EstimateEquals(1) = %f, want >= 500", got)
+	}
+	ew := BuildHistogram(EqualWidth, counts, 4)
+	// Equal-width still sums correctly over the whole domain.
+	if got := ew.EstimateRange(math.Inf(-1), math.Inf(1)); math.Abs(got-1003) > 1 {
+		t.Errorf("EqualWidth full range = %f", got)
+	}
+}
+
+func TestHistogramSingleValueAndEmpty(t *testing.T) {
+	h := BuildHistogram(EqualWidth, map[float64]int{7: 42}, 8)
+	if h.BinCount() != 1 {
+		t.Errorf("BinCount = %d", h.BinCount())
+	}
+	if got := h.EstimateEquals(7); got != 42 {
+		t.Errorf("EstimateEquals(7) = %f", got)
+	}
+	empty := BuildHistogram(EqualHeight, nil, 8)
+	if empty.BinCount() != 0 || empty.EstimateEquals(1) != 0 || empty.EstimateRange(0, 1) != 0 {
+		t.Error("empty histogram should estimate 0")
+	}
+}
+
+func TestHistogramNameStrings(t *testing.T) {
+	if EqualHeight.String() != "EqualHeight" || EqualWidth.String() != "EqualWidth" ||
+		EqualDistinctCount.String() != "EqualDistinctCount" || HistogramType(9).String() != "?" {
+		t.Error("names wrong")
+	}
+}
+
+// Property: full-range estimates equal the true total for all histogram
+// types, and equals-estimates are non-negative.
+func TestHistogramMassConservationProperty(t *testing.T) {
+	for _, kind := range []HistogramType{EqualHeight, EqualWidth, EqualDistinctCount} {
+		kind := kind
+		f := func(raw []uint8, bins uint8) bool {
+			counts := make(map[float64]int)
+			total := 0
+			for _, r := range raw {
+				counts[float64(r%50)]++
+				total++
+			}
+			h := BuildHistogram(kind, counts, int(bins%16)+1)
+			full := h.EstimateRange(math.Inf(-1), math.Inf(1))
+			return math.Abs(full-float64(total)) < 1e-6
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestStringToDomainOrderProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		da, db := StringToDomain(a), StringToDomain(b)
+		if a < b {
+			return da <= db
+		}
+		if a > b {
+			return da >= db
+		}
+		return da == db
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTestTable(t *testing.T) *storage.Table {
+	t.Helper()
+	defs := []storage.ColumnDefinition{
+		{Name: "id", Type: types.TypeInt64},
+		{Name: "price", Type: types.TypeFloat64, Nullable: true},
+		{Name: "status", Type: types.TypeString},
+	}
+	table := storage.NewTable("t", defs, 100, false)
+	statuses := []string{"open", "closed", "pending"}
+	for i := 0; i < 1000; i++ {
+		price := types.Float(float64(i % 50))
+		if i%10 == 0 {
+			price = types.NullValue
+		}
+		_, err := table.AppendRow([]types.Value{
+			types.Int(int64(i)), price, types.Str(statuses[i%3]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return table
+}
+
+func TestBuildTableStatistics(t *testing.T) {
+	table := buildTestTable(t)
+	ts := BuildTableStatistics(table, EqualHeight)
+	if ts.RowCount != 1000 {
+		t.Fatalf("RowCount = %f", ts.RowCount)
+	}
+	id := ts.Columns[0]
+	if id.DistinctCount != 1000 || id.NullCount != 0 || id.Min != 0 || id.Max != 999 {
+		t.Errorf("id stats = %+v", id)
+	}
+	price := ts.Columns[1]
+	// price = i%50, but every multiple of 10 is NULL (i%10==0 covers exactly
+	// the residues 0,10,20,30,40), leaving 45 distinct non-NULL values.
+	if price.DistinctCount != 45 {
+		t.Errorf("price distinct = %f", price.DistinctCount)
+	}
+	if got := price.NullFraction(); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("price null fraction = %f", got)
+	}
+	status := ts.Columns[2]
+	if status.DistinctCount != 3 {
+		t.Errorf("status distinct = %f", status.DistinctCount)
+	}
+}
+
+func TestEstimateSelectivities(t *testing.T) {
+	table := buildTestTable(t)
+	ts := BuildTableStatistics(table, EqualHeight)
+
+	// id = 500: 1/1000.
+	if got := ts.EstimateEquals(0, types.Int(500)); got < 0.0005 || got > 0.01 {
+		t.Errorf("EstimateEquals(id=500) = %f", got)
+	}
+	// id in [0, 499]: ~0.5.
+	lo, hi := types.Int(0), types.Int(499)
+	if got := ts.EstimateRange(0, &lo, &hi); got < 0.4 || got > 0.6 {
+		t.Errorf("EstimateRange(id 0..499) = %f", got)
+	}
+	// status = 'open': ~1/3.
+	if got := ts.EstimateEquals(2, types.Str("open")); got < 0.2 || got > 0.5 {
+		t.Errorf("EstimateEquals(status=open) = %f", got)
+	}
+	// NULL probe: never matches.
+	if got := ts.EstimateEquals(0, types.NullValue); got != 0 {
+		t.Errorf("NULL equals selectivity = %f", got)
+	}
+	// NotEquals on price accounts for the null fraction.
+	got := ts.EstimateNotEquals(1, types.Float(1))
+	if got < 0.8 || got > 0.95 {
+		t.Errorf("EstimateNotEquals(price<>1) = %f", got)
+	}
+	// Open bounds.
+	if got := ts.EstimateRange(0, nil, nil); got < 0.99 {
+		t.Errorf("unbounded range selectivity = %f", got)
+	}
+}
+
+func TestEstimateJoinCardinality(t *testing.T) {
+	table := buildTestTable(t)
+	ts := BuildTableStatistics(table, EqualHeight)
+	// Self-join on unique id: |R|*|S|/1000 = 1000.
+	got := EstimateJoinCardinality(ts, 0, ts, 0)
+	if math.Abs(got-1000) > 1 {
+		t.Errorf("join cardinality on id = %f, want 1000", got)
+	}
+	// Join on 3-distinct status: 1000*1000/3.
+	got = EstimateJoinCardinality(ts, 2, ts, 2)
+	if math.Abs(got-1000*1000.0/3) > 1 {
+		t.Errorf("join cardinality on status = %f", got)
+	}
+}
+
+func TestStatisticsCache(t *testing.T) {
+	table := buildTestTable(t)
+	cache := NewCache(EqualHeight)
+	s1 := cache.Get(table)
+	s2 := cache.Get(table)
+	if s1 != s2 {
+		t.Error("cache should return the same object for unchanged table")
+	}
+	_, _ = table.AppendRow([]types.Value{types.Int(9999), types.Float(1), types.Str("open")})
+	s3 := cache.Get(table)
+	if s3 == s1 {
+		t.Error("cache must invalidate after row count change")
+	}
+	if s3.RowCount != 1001 {
+		t.Errorf("rebuilt RowCount = %f", s3.RowCount)
+	}
+}

@@ -1,0 +1,248 @@
+// Package storage implements Hyrise's storage layout (paper §2.2): tables
+// are horizontally partitioned into fixed-capacity chunks; within a chunk,
+// vertical partitions called segments hold the data of one column each.
+// Chunks start mutable and append-only; once full they become immutable and
+// may be encoded, indexed, and filtered asynchronously.
+package storage
+
+import (
+	"fmt"
+
+	"hyrise/internal/types"
+)
+
+// Segment is one column's worth of data within one chunk.
+//
+// The methods on this interface form the *dynamic* access path: one virtual
+// call per value. Operators should prefer the static path — resolving the
+// concrete segment type once (see encoding.Resolve*) and running a
+// monomorphic loop — which is the Go analog of the paper's template-based
+// iterator resolution. The dynamic path is retained both as a fallback for
+// unspecialized operators and as the baseline of the Figure 3b experiment.
+type Segment interface {
+	// DataType returns the column type stored in this segment.
+	DataType() types.DataType
+	// Len returns the number of rows.
+	Len() int
+	// ValueAt returns the value at the offset (NullValue for NULL rows).
+	ValueAt(i types.ChunkOffset) types.Value
+	// IsNullAt reports whether the row is NULL.
+	IsNullAt(i types.ChunkOffset) bool
+	// MemoryUsage returns the estimated heap footprint in bytes.
+	MemoryUsage() int64
+}
+
+// ValueSegment is the unencoded, mutable segment type backed by a plain
+// slice. Freshly appended chunks consist of value segments; encodings are
+// applied only after the chunk becomes immutable.
+type ValueSegment[T types.Ordered] struct {
+	values   []T
+	nulls    []bool // nil when the column is NOT NULL
+	nullable bool
+}
+
+// preallocCap bounds the eager allocation of fresh segments; very large
+// target chunk sizes (e.g. the "unchunked" benchmark configuration) grow
+// naturally instead of reserving gigabytes up front.
+const preallocCap = 1 << 16
+
+// NewValueSegment creates an empty value segment with the given capacity.
+func NewValueSegment[T types.Ordered](capacity int, nullable bool) *ValueSegment[T] {
+	if capacity > preallocCap {
+		capacity = preallocCap
+	}
+	vs := &ValueSegment[T]{
+		values:   make([]T, 0, capacity),
+		nullable: nullable,
+	}
+	if nullable {
+		vs.nulls = make([]bool, 0, capacity)
+	}
+	return vs
+}
+
+// ValueSegmentFromSlice wraps an existing slice (not copied) in a segment.
+// nulls may be nil for a NOT NULL column.
+func ValueSegmentFromSlice[T types.Ordered](values []T, nulls []bool) *ValueSegment[T] {
+	if nulls != nil && len(nulls) != len(values) {
+		panic("storage: nulls length does not match values length")
+	}
+	return &ValueSegment[T]{values: values, nulls: nulls, nullable: nulls != nil}
+}
+
+// Append adds a value to the end of the segment.
+func (s *ValueSegment[T]) Append(v T, null bool) {
+	if null && !s.nullable {
+		panic("storage: NULL appended to non-nullable segment")
+	}
+	s.values = append(s.values, v)
+	if s.nullable {
+		s.nulls = append(s.nulls, null)
+	}
+}
+
+// Values exposes the underlying data slice for tight loops and encoders.
+func (s *ValueSegment[T]) Values() []T { return s.values }
+
+// Nulls exposes the null flags (nil if the column is NOT NULL).
+func (s *ValueSegment[T]) Nulls() []bool { return s.nulls }
+
+// Nullable reports whether the segment may contain NULLs.
+func (s *ValueSegment[T]) Nullable() bool { return s.nullable }
+
+// snapshot returns a read-only view of the first size rows. The caller
+// must hold the owning chunk's lock; the returned segment stays valid even
+// if later appends reallocate the underlying slices.
+func (s *ValueSegment[T]) snapshot(size int) *ValueSegment[T] {
+	if size > len(s.values) {
+		size = len(s.values)
+	}
+	view := &ValueSegment[T]{values: s.values[:size:size], nullable: s.nullable}
+	if s.nulls != nil {
+		n := size
+		if n > len(s.nulls) {
+			n = len(s.nulls)
+		}
+		view.nulls = s.nulls[:n:n]
+	}
+	return view
+}
+
+// Get returns the value and null flag at i (static access path).
+func (s *ValueSegment[T]) Get(i types.ChunkOffset) (T, bool) {
+	if s.nulls != nil && s.nulls[i] {
+		var z T
+		return z, true
+	}
+	return s.values[i], false
+}
+
+// DataType implements Segment.
+func (s *ValueSegment[T]) DataType() types.DataType { return types.Native[T]() }
+
+// Len implements Segment.
+func (s *ValueSegment[T]) Len() int { return len(s.values) }
+
+// ValueAt implements Segment (dynamic path).
+func (s *ValueSegment[T]) ValueAt(i types.ChunkOffset) types.Value {
+	if s.nulls != nil && s.nulls[i] {
+		return types.NullValue
+	}
+	return types.FromNative(s.values[i])
+}
+
+// IsNullAt implements Segment.
+func (s *ValueSegment[T]) IsNullAt(i types.ChunkOffset) bool {
+	return s.nulls != nil && s.nulls[i]
+}
+
+// MemoryUsage implements Segment.
+func (s *ValueSegment[T]) MemoryUsage() int64 {
+	var elem int64
+	var z T
+	switch any(z).(type) {
+	case int64, float64:
+		elem = 8 * int64(cap(s.values))
+	case string:
+		elem = 16 * int64(cap(s.values)) // string headers
+		for _, v := range s.values {
+			elem += int64(len(any(v).(string)))
+		}
+	}
+	if s.nulls != nil {
+		elem += int64(cap(s.nulls))
+	}
+	return elem
+}
+
+// ReferenceSegment is a segment that does not store data but positions into
+// another (data) table. All reference segments of one chunk usually share a
+// single PosList, so producing an N-column intermediate costs one position
+// list, not N copies (paper §2.6, "avoids expensive materializations").
+type ReferenceSegment struct {
+	table    *Table
+	column   types.ColumnID
+	posList  types.PosList
+	dataType types.DataType
+}
+
+// NewReferenceSegment creates a reference segment pointing into table's
+// column at the given positions.
+func NewReferenceSegment(table *Table, column types.ColumnID, posList types.PosList) *ReferenceSegment {
+	return &ReferenceSegment{
+		table:    table,
+		column:   column,
+		posList:  posList,
+		dataType: table.ColumnDefinitions()[column].Type,
+	}
+}
+
+// ReferencedTable returns the data table the positions point into.
+func (s *ReferenceSegment) ReferencedTable() *Table { return s.table }
+
+// ReferencedColumn returns the column id within the referenced table.
+func (s *ReferenceSegment) ReferencedColumn() types.ColumnID { return s.column }
+
+// PosList returns the shared position list.
+func (s *ReferenceSegment) PosList() types.PosList { return s.posList }
+
+// DataType implements Segment.
+func (s *ReferenceSegment) DataType() types.DataType { return s.dataType }
+
+// Len implements Segment.
+func (s *ReferenceSegment) Len() int { return len(s.posList) }
+
+// ValueAt implements Segment by chasing the reference (dynamic path).
+func (s *ReferenceSegment) ValueAt(i types.ChunkOffset) types.Value {
+	rowID := s.posList[i]
+	if rowID.IsNull() {
+		return types.NullValue
+	}
+	return s.table.GetChunk(rowID.Chunk).GetSegment(s.column).ValueAt(rowID.Offset)
+}
+
+// IsNullAt implements Segment.
+func (s *ReferenceSegment) IsNullAt(i types.ChunkOffset) bool {
+	rowID := s.posList[i]
+	if rowID.IsNull() {
+		return true
+	}
+	return s.table.GetChunk(rowID.Chunk).GetSegment(s.column).IsNullAt(rowID.Offset)
+}
+
+// MemoryUsage implements Segment. The PosList is shared across the chunk's
+// segments; it is accounted for here once per segment deliberately, since
+// callers comparing footprints use data tables.
+func (s *ReferenceSegment) MemoryUsage() int64 {
+	return int64(cap(s.posList)) * 8
+}
+
+// AppendValueTo appends the dynamic value v to a value segment of matching
+// type. It is the slow-path used by materializing operators.
+func AppendValueTo(seg Segment, v types.Value) error {
+	switch s := seg.(type) {
+	case *ValueSegment[int64]:
+		s.Append(v.AsInt(), v.IsNull())
+	case *ValueSegment[float64]:
+		s.Append(v.AsFloat(), v.IsNull())
+	case *ValueSegment[string]:
+		s.Append(v.S, v.IsNull())
+	default:
+		return fmt.Errorf("storage: cannot append to segment of type %T", seg)
+	}
+	return nil
+}
+
+// NewValueSegmentOfType creates an empty value segment for the dynamic type.
+func NewValueSegmentOfType(t types.DataType, capacity int, nullable bool) Segment {
+	switch t {
+	case types.TypeInt64:
+		return NewValueSegment[int64](capacity, nullable)
+	case types.TypeFloat64:
+		return NewValueSegment[float64](capacity, nullable)
+	case types.TypeString:
+		return NewValueSegment[string](capacity, nullable)
+	default:
+		panic(fmt.Sprintf("storage: no segment for type %s", t))
+	}
+}

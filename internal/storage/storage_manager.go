@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"hyrise/internal/types"
+)
+
+// StorageManager is the central catalog of named tables and views
+// (paper Figure 1: "Storage Manager"). It is safe for concurrent use.
+type StorageManager struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]string // view name -> SQL text (embedded at planning time)
+}
+
+// NewStorageManager creates an empty catalog.
+func NewStorageManager() *StorageManager {
+	return &StorageManager{
+		tables: make(map[string]*Table),
+		views:  make(map[string]string),
+	}
+}
+
+// AddTable registers a table under its name. Re-registering a name fails.
+func (sm *StorageManager) AddTable(t *Table) error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	key := strings.ToLower(t.Name())
+	if key == "" {
+		return fmt.Errorf("storage: cannot register unnamed table")
+	}
+	if _, ok := sm.tables[key]; ok {
+		return fmt.Errorf("storage: table %q already exists", t.Name())
+	}
+	sm.tables[key] = t
+	return nil
+}
+
+// GetTable looks a table up by name (case-insensitive).
+func (sm *StorageManager) GetTable(name string) (*Table, error) {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	t, ok := sm.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table named %q", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether a table with the name exists.
+func (sm *StorageManager) HasTable(name string) bool {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	_, ok := sm.tables[strings.ToLower(name)]
+	return ok
+}
+
+// DropTable removes a table from the catalog.
+func (sm *StorageManager) DropTable(name string) error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := sm.tables[key]; !ok {
+		return fmt.Errorf("storage: no table named %q", name)
+	}
+	delete(sm.tables, key)
+	return nil
+}
+
+// TableNames returns the sorted names of all registered tables.
+func (sm *StorageManager) TableNames() []string {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	names := make([]string, 0, len(sm.tables))
+	for _, t := range sm.tables {
+		names = append(names, t.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddView stores a named view as its SQL text; the SQL translator embeds the
+// view's plan when the name is referenced.
+func (sm *StorageManager) AddView(name, sql string) error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := sm.views[key]; ok {
+		return fmt.Errorf("storage: view %q already exists", name)
+	}
+	sm.views[key] = sql
+	return nil
+}
+
+// GetView returns the SQL text of a view.
+func (sm *StorageManager) GetView(name string) (string, bool) {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	sql, ok := sm.views[strings.ToLower(name)]
+	return sql, ok
+}
+
+// DropView removes a view.
+func (sm *StorageManager) DropView(name string) error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := sm.views[key]; !ok {
+		return fmt.Errorf("storage: no view named %q", name)
+	}
+	delete(sm.views, key)
+	return nil
+}
+
+// LoadCSV bulk-loads delimiter-separated values into a new table with the
+// given schema and registers it. Empty fields in nullable columns load as
+// NULL. This backs the benchmark runner's "provide your own .csv" feature
+// (paper §2.10).
+func (sm *StorageManager) LoadCSV(name string, defs []ColumnDefinition, r io.Reader, delim rune, chunkSize int, useMvcc bool) (*Table, error) {
+	table := NewTable(name, defs, chunkSize, useMvcc)
+	cr := csv.NewReader(r)
+	cr.Comma = delim
+	cr.ReuseRecord = true
+	row := make([]types.Value, len(defs))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: csv read: %w", err)
+		}
+		if len(rec) != len(defs) {
+			return nil, fmt.Errorf("storage: csv row has %d fields, want %d", len(rec), len(defs))
+		}
+		for i, field := range rec {
+			if field == "" && defs[i].Nullable {
+				row[i] = types.NullValue
+				continue
+			}
+			v, err := types.ParseValue(defs[i].Type, field)
+			if err != nil {
+				return nil, fmt.Errorf("storage: csv field %d: %w", i, err)
+			}
+			row[i] = v
+		}
+		if _, err := table.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	table.FinalizeLastChunk()
+	if err := sm.AddTable(table); err != nil {
+		return nil, err
+	}
+	return table, nil
+}

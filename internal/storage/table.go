@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hyrise/internal/types"
+)
+
+// TableType distinguishes tables that own their data from tables whose
+// chunks consist of reference segments into other tables.
+type TableType uint8
+
+const (
+	// DataTable owns value/encoded segments.
+	DataTable TableType = iota
+	// ReferenceTable consists of reference segments (operator output).
+	ReferenceTable
+)
+
+// ColumnDefinition describes one column of a table.
+type ColumnDefinition struct {
+	Name     string
+	Type     types.DataType
+	Nullable bool
+}
+
+// DefaultChunkSize is the default chunk capacity. The paper's evaluation
+// (Figure 7) finds ~100k rows to be the throughput sweet spot and uses it as
+// Hyrise's default setting.
+const DefaultChunkSize = 100_000
+
+// Table is a relation: an ordered list of column definitions plus a list of
+// chunks. Appends go to the last chunk; when it reaches targetChunkSize it
+// is finalized and a fresh mutable chunk is opened.
+type Table struct {
+	name            string
+	defs            []ColumnDefinition
+	tableType       TableType
+	targetChunkSize int
+	useMvcc         bool
+
+	mu     sync.RWMutex // guards chunks slice growth
+	chunks []*Chunk
+
+	appendMu sync.Mutex // serializes row appends
+}
+
+// NewTable creates an empty data table. targetChunkSize <= 0 selects
+// DefaultChunkSize. useMvcc controls whether chunks carry MVCC columns.
+func NewTable(name string, defs []ColumnDefinition, targetChunkSize int, useMvcc bool) *Table {
+	if targetChunkSize <= 0 {
+		targetChunkSize = DefaultChunkSize
+	}
+	t := &Table{
+		name:            name,
+		defs:            defs,
+		tableType:       DataTable,
+		targetChunkSize: targetChunkSize,
+		useMvcc:         useMvcc,
+	}
+	return t
+}
+
+// NewReferenceTable creates a table whose chunks hold reference segments.
+// Reference tables are operator outputs; they have no chunk size limit and
+// no MVCC data.
+func NewReferenceTable(defs []ColumnDefinition, chunks []*Chunk) *Table {
+	return &Table{
+		defs:      defs,
+		tableType: ReferenceTable,
+		chunks:    chunks,
+	}
+}
+
+// Name returns the table name ("" for intermediates).
+func (t *Table) Name() string { return t.name }
+
+// Type returns whether the table owns data or references.
+func (t *Table) Type() TableType { return t.tableType }
+
+// UsesMvcc reports whether chunks carry MVCC columns.
+func (t *Table) UsesMvcc() bool { return t.useMvcc }
+
+// TargetChunkSize returns the chunk capacity.
+func (t *Table) TargetChunkSize() int { return t.targetChunkSize }
+
+// ColumnDefinitions returns the schema.
+func (t *Table) ColumnDefinitions() []ColumnDefinition { return t.defs }
+
+// ColumnCount returns the number of columns.
+func (t *Table) ColumnCount() int { return len(t.defs) }
+
+// ColumnID resolves a column name (case-insensitive) to its id.
+func (t *Table) ColumnID(name string) (types.ColumnID, error) {
+	for i, d := range t.defs {
+		if strings.EqualFold(d.Name, name) {
+			return types.ColumnID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("storage: table %q has no column %q", t.name, name)
+}
+
+// ColumnType returns the data type of the column.
+func (t *Table) ColumnType(id types.ColumnID) types.DataType { return t.defs[id].Type }
+
+// ChunkCount returns the number of chunks.
+func (t *Table) ChunkCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.chunks)
+}
+
+// GetChunk returns the chunk with the given id.
+func (t *Table) GetChunk(id types.ChunkID) *Chunk {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.chunks[id]
+}
+
+// Chunks returns a snapshot of the chunk list.
+func (t *Table) Chunks() []*Chunk {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Chunk, len(t.chunks))
+	copy(out, t.chunks)
+	return out
+}
+
+// AppendChunk attaches a pre-built chunk (bulk load path, reference tables).
+func (t *Table) AppendChunk(c *Chunk) {
+	t.mu.Lock()
+	t.chunks = append(t.chunks, c)
+	t.mu.Unlock()
+}
+
+// RowCount returns the total number of rows across chunks (including rows
+// that MVCC has invalidated — visibility is the Validate operator's job).
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, c := range t.chunks {
+		n += c.Size()
+	}
+	return n
+}
+
+// newMutableChunk opens a fresh append-target chunk.
+func (t *Table) newMutableChunk() *Chunk {
+	segs := make([]Segment, len(t.defs))
+	for i, d := range t.defs {
+		segs[i] = NewValueSegmentOfType(d.Type, t.targetChunkSize, d.Nullable)
+	}
+	var mvcc *MvccData
+	if t.useMvcc {
+		mvcc = NewMvccData(t.targetChunkSize)
+	}
+	return NewChunk(segs, mvcc)
+}
+
+// AppendRow appends one row, opening a new chunk when the current one is
+// full, and returns the RowID of the new row. The previous chunk is
+// finalized (made immutable) when it fills up.
+func (t *Table) AppendRow(vals []types.Value) (types.RowID, error) {
+	if t.tableType != DataTable {
+		return types.NullRowID, fmt.Errorf("storage: cannot append to reference table")
+	}
+	if len(vals) != len(t.defs) {
+		return types.NullRowID, fmt.Errorf("storage: row has %d values, table %q has %d columns", len(vals), t.name, len(t.defs))
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			if !t.defs[i].Nullable {
+				return types.NullRowID, fmt.Errorf("storage: NULL in non-nullable column %q", t.defs[i].Name)
+			}
+			continue
+		}
+		if v.Type != t.defs[i].Type {
+			return types.NullRowID, fmt.Errorf("storage: value type %s does not match column %q type %s", v.Type, t.defs[i].Name, t.defs[i].Type)
+		}
+	}
+
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+
+	t.mu.RLock()
+	n := len(t.chunks)
+	var last *Chunk
+	if n > 0 {
+		last = t.chunks[n-1]
+	}
+	t.mu.RUnlock()
+
+	if last == nil || last.Size() >= t.targetChunkSize || last.IsImmutable() {
+		if last != nil {
+			last.Finalize()
+		}
+		last = t.newMutableChunk()
+		t.mu.Lock()
+		t.chunks = append(t.chunks, last)
+		n = len(t.chunks)
+		t.mu.Unlock()
+	}
+
+	if err := last.appendRow(vals); err != nil {
+		return types.NullRowID, err
+	}
+	return types.RowID{
+		Chunk:  types.ChunkID(n - 1),
+		Offset: types.ChunkOffset(last.Size() - 1),
+	}, nil
+}
+
+// FinalizeLastChunk makes the current mutable chunk immutable (e.g. after a
+// bulk load) so that encodings, indexes, and filters can be applied.
+func (t *Table) FinalizeLastChunk() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.chunks) > 0 {
+		t.chunks[len(t.chunks)-1].Finalize()
+	}
+}
+
+// GetValue fetches a single cell by RowID (dynamic path, boundary use only).
+func (t *Table) GetValue(col types.ColumnID, row types.RowID) types.Value {
+	return t.GetChunk(row.Chunk).GetSegment(col).ValueAt(row.Offset)
+}
+
+// MemoryUsage returns the table's data and metadata footprints in bytes.
+func (t *Table) MemoryUsage() (data, metadata int64) {
+	for _, c := range t.Chunks() {
+		d, m := c.MemoryUsage()
+		data += d
+		metadata += m
+	}
+	return data, metadata
+}
+
+// RowAsValues materializes one full row (boundary use only).
+func (t *Table) RowAsValues(row types.RowID) []types.Value {
+	out := make([]types.Value, len(t.defs))
+	c := t.GetChunk(row.Chunk)
+	for i := range t.defs {
+		out[i] = c.GetSegment(types.ColumnID(i)).ValueAt(row.Offset)
+	}
+	return out
+}
+
+// NewTableView creates a table that shares the given chunks of src (used
+// by GetTable after chunk pruning and by Alias for column renames). The
+// view has src's type; segments are shared, not copied.
+func NewTableView(src *Table, chunks []*Chunk, defs []ColumnDefinition) *Table {
+	if defs == nil {
+		defs = src.defs
+	}
+	return &Table{
+		name:            src.name,
+		defs:            defs,
+		tableType:       src.tableType,
+		targetChunkSize: src.targetChunkSize,
+		useMvcc:         src.useMvcc,
+		chunks:          chunks,
+	}
+}

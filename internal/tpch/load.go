@@ -1,0 +1,71 @@
+package tpch
+
+import (
+	"hyrise/internal/encoding"
+	"hyrise/internal/filter"
+	"hyrise/internal/index"
+	"hyrise/internal/storage"
+)
+
+// DefaultEncoding is the benchmark default (paper: "a column-based layout
+// and dictionary encoding are used" in the default setup).
+func DefaultEncoding() encoding.Spec {
+	return encoding.Spec{Encoding: encoding.Dictionary, Compression: encoding.FixedSizeByteAligned}
+}
+
+// EncodeAndFilter applies the encoding spec to every TPC-H table and
+// attaches the default pruning filters to every immutable chunk — the
+// post-load step of the benchmark binaries.
+func EncodeAndFilter(sm *storage.StorageManager, spec encoding.Spec) error {
+	for _, name := range TableNames() {
+		t, err := sm.GetTable(name)
+		if err != nil {
+			return err
+		}
+		if spec.Encoding != encoding.Unencoded {
+			if err := encoding.EncodeTable(t, spec, nil); err != nil {
+				return err
+			}
+		} else {
+			t.FinalizeLastChunk()
+		}
+		if err := filter.AttachDefaultFilters(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildIndexes creates group-key indexes (or the given type) on the primary
+// key columns of the big tables; used by index-related experiments.
+func BuildIndexes(sm *storage.StorageManager, typ index.Type) error {
+	targets := map[string]string{
+		"lineitem": "l_orderkey",
+		"orders":   "o_orderkey",
+		"customer": "c_custkey",
+		"part":     "p_partkey",
+		"supplier": "s_suppkey",
+	}
+	for table, column := range targets {
+		t, err := sm.GetTable(table)
+		if err != nil {
+			return err
+		}
+		col, err := t.ColumnID(column)
+		if err != nil {
+			return err
+		}
+		for _, c := range t.Chunks() {
+			if !c.IsImmutable() {
+				continue
+			}
+			if c.GetIndex(col) != nil {
+				continue
+			}
+			if err := index.AddIndexToChunk(typ, c, col); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

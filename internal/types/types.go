@@ -1,0 +1,331 @@
+// Package types defines the data types, value representation, and row
+// addressing primitives shared by all Hyrise components.
+//
+// Hyrise supports three SQL-visible data types: 64-bit integers, 64-bit
+// floats, and strings. This mirrors the paper's own evaluation setup, which
+// replaced DECIMAL with FLOAT and DATE with CHAR(10) (dates are ISO-8601
+// strings, so lexicographic comparison equals chronological comparison).
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// DataType enumerates the column data types supported by the engine.
+type DataType uint8
+
+const (
+	// TypeNull is the type of an untyped NULL literal.
+	TypeNull DataType = iota
+	// TypeInt64 is a 64-bit signed integer.
+	TypeInt64
+	// TypeFloat64 is a 64-bit IEEE-754 float.
+	TypeFloat64
+	// TypeString is a variable-length UTF-8 string.
+	TypeString
+	// TypeBool is the internal type of predicate results (not a column
+	// type); SQL three-valued logic uses TypeBool plus NULL.
+	TypeBool
+)
+
+// String returns the SQL-ish name of the data type.
+func (t DataType) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt64:
+		return "INT"
+	case TypeFloat64:
+		return "FLOAT"
+	case TypeString:
+		return "VARCHAR"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("DataType(%d)", uint8(t))
+	}
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t DataType) IsNumeric() bool {
+	return t == TypeInt64 || t == TypeFloat64
+}
+
+// ChunkID identifies a chunk within a table.
+type ChunkID uint32
+
+// ChunkOffset identifies a row within a chunk.
+type ChunkOffset uint32
+
+// ColumnID identifies a column within a table.
+type ColumnID uint16
+
+// InvalidChunkOffset marks a non-existing chunk offset (e.g. NULL rows in
+// outer joins).
+const InvalidChunkOffset = ChunkOffset(math.MaxUint32)
+
+// RowID addresses a single row in a stored table: a chunk and an offset
+// within that chunk. RowIDs are the currency of positional (reference)
+// segments.
+type RowID struct {
+	Chunk  ChunkID
+	Offset ChunkOffset
+}
+
+// NullRowID represents "no row", used for the outer side of outer joins.
+var NullRowID = RowID{Chunk: math.MaxUint32, Offset: InvalidChunkOffset}
+
+// IsNull reports whether the RowID addresses no row.
+func (r RowID) IsNull() bool { return r.Offset == InvalidChunkOffset }
+
+// PosList is an ordered list of row positions produced by an operator and
+// consumed by reference segments. Sharing one PosList across all reference
+// segments of a chunk is what makes positional intermediaries cheap.
+type PosList []RowID
+
+// SingleChunk reports whether all positions refer to the same chunk, and if
+// so which one. Operators use this to take a fast path that resolves the
+// referenced segment only once.
+func (p PosList) SingleChunk() (ChunkID, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	first := p[0].Chunk
+	for _, r := range p[1:] {
+		if r.Chunk != first {
+			return 0, false
+		}
+	}
+	return first, true
+}
+
+// Value is a dynamically typed SQL value. It is used at system boundaries
+// (parser literals, client results, dynamic segment access); hot loops use
+// typed slices instead.
+type Value struct {
+	Type DataType
+	I    int64
+	F    float64
+	S    string
+}
+
+// NullValue is the SQL NULL.
+var NullValue = Value{Type: TypeNull}
+
+// Int returns an int64 value.
+func Int(v int64) Value { return Value{Type: TypeInt64, I: v} }
+
+// Float returns a float64 value.
+func Float(v float64) Value { return Value{Type: TypeFloat64, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Type: TypeString, S: v} }
+
+// Bool returns a boolean value (internal predicate results).
+func Bool(v bool) Value {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return Value{Type: TypeBool, I: i}
+}
+
+// AsBool reports whether the value is a true boolean.
+func (v Value) AsBool() bool { return v.Type == TypeBool && v.I != 0 }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Type == TypeNull }
+
+// AsFloat converts a numeric value to float64. Strings and NULLs yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.Type {
+	case TypeInt64:
+		return float64(v.I)
+	case TypeFloat64:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts a numeric value to int64, truncating floats.
+func (v Value) AsInt() int64 {
+	switch v.Type {
+	case TypeInt64:
+		return v.I
+	case TypeFloat64:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String renders the value the way results are printed (NULL as "NULL").
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "NULL"
+	case TypeInt64:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeString:
+		return v.S
+	case TypeBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports SQL equality between two values after numeric coercion.
+// NULL never equals anything, including NULL.
+func (v Value) Equal(o Value) bool {
+	if v.IsNull() || o.IsNull() {
+		return false
+	}
+	c, ok := Compare(v, o)
+	return ok && c == 0
+}
+
+// Compare orders two non-null values. Numeric types are mutually comparable
+// (int compared to float via float64); strings only compare to strings.
+// ok is false for NULLs or incompatible types.
+func Compare(a, b Value) (int, bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	switch {
+	case a.Type == TypeString && b.Type == TypeString:
+		switch {
+		case a.S < b.S:
+			return -1, true
+		case a.S > b.S:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case a.Type.IsNumeric() && b.Type.IsNumeric():
+		if a.Type == TypeInt64 && b.Type == TypeInt64 {
+			switch {
+			case a.I < b.I:
+				return -1, true
+			case a.I > b.I:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// CommonType returns the type that arithmetic between a and b produces.
+func CommonType(a, b DataType) DataType {
+	switch {
+	case a == TypeString || b == TypeString:
+		return TypeString
+	case a == TypeFloat64 || b == TypeFloat64:
+		return TypeFloat64
+	case a == TypeInt64 || b == TypeInt64:
+		return TypeInt64
+	default:
+		return TypeNull
+	}
+}
+
+// ParseValue parses a literal of the given type from its text form.
+func ParseValue(t DataType, s string) (Value, error) {
+	switch t {
+	case TypeInt64:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return NullValue, fmt.Errorf("parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case TypeFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return NullValue, fmt.Errorf("parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case TypeString:
+		return Str(s), nil
+	default:
+		return NullValue, fmt.Errorf("cannot parse value of type %s", t)
+	}
+}
+
+// Ordered is the constraint for types with a total order used by generic
+// scan and index code.
+type Ordered interface {
+	~int64 | ~float64 | ~string
+}
+
+// Native maps a Go native type to its DataType.
+func Native[T Ordered]() DataType {
+	var z T
+	switch any(z).(type) {
+	case int64:
+		return TypeInt64
+	case float64:
+		return TypeFloat64
+	case string:
+		return TypeString
+	}
+	return TypeNull
+}
+
+// FromNative wraps a native value into a Value.
+func FromNative[T Ordered](v T) Value {
+	switch x := any(v).(type) {
+	case int64:
+		return Int(x)
+	case float64:
+		return Float(x)
+	case string:
+		return Str(x)
+	}
+	return NullValue
+}
+
+// ToNative extracts the native value of type T from a Value. The caller must
+// know the value is of matching type; mismatches return the zero value.
+func ToNative[T Ordered](v Value) T {
+	var z T
+	switch any(z).(type) {
+	case int64:
+		return any(v.AsInt()).(T)
+	case float64:
+		return any(v.AsFloat()).(T)
+	case string:
+		if v.Type == TypeString {
+			return any(v.S).(T)
+		}
+	}
+	return z
+}
+
+// CommitID is a monotonically increasing MVCC commit timestamp.
+type CommitID uint64
+
+// TransactionID identifies a running transaction for MVCC row claims.
+type TransactionID uint64
+
+// MaxCommitID marks "not yet committed / not yet invalidated".
+const MaxCommitID = CommitID(math.MaxUint64)

@@ -1,0 +1,189 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDataTypeString(t *testing.T) {
+	cases := map[DataType]string{
+		TypeNull:    "NULL",
+		TypeInt64:   "INT",
+		TypeFloat64: "FLOAT",
+		TypeString:  "VARCHAR",
+		DataType(9): "DataType(9)",
+	}
+	for dt, want := range cases {
+		if got := dt.String(); got != want {
+			t.Errorf("DataType(%d).String() = %q, want %q", dt, got, want)
+		}
+	}
+}
+
+func TestValueConstructorsAndString(t *testing.T) {
+	if got := Int(42).String(); got != "42" {
+		t.Errorf("Int(42).String() = %q", got)
+	}
+	if got := Float(1.5).String(); got != "1.5" {
+		t.Errorf("Float(1.5).String() = %q", got)
+	}
+	if got := Str("hi").String(); got != "hi" {
+		t.Errorf("Str(hi).String() = %q", got)
+	}
+	if got := NullValue.String(); got != "NULL" {
+		t.Errorf("NullValue.String() = %q", got)
+	}
+	if !NullValue.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b   Value
+		want   int
+		wantOK bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Float(1.5), Int(2), -1, true},
+		{Int(2), Float(1.5), 1, true},
+		{Float(2.0), Int(2), 0, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Str("c"), Str("b"), 1, true},
+		{Str("a"), Int(1), 0, false},
+		{NullValue, Int(1), 0, false},
+		{Int(1), NullValue, 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := Compare(tc.a, tc.b)
+		if ok != tc.wantOK || (ok && got != tc.want) {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)", tc.a, tc.b, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if NullValue.Equal(NullValue) {
+		t.Error("NULL must not equal NULL")
+	}
+	if !Int(5).Equal(Float(5.0)) {
+		t.Error("5 should equal 5.0")
+	}
+	if Str("x").Equal(Int(1)) {
+		t.Error("incompatible types must not be equal")
+	}
+}
+
+func TestCommonType(t *testing.T) {
+	tests := []struct {
+		a, b, want DataType
+	}{
+		{TypeInt64, TypeInt64, TypeInt64},
+		{TypeInt64, TypeFloat64, TypeFloat64},
+		{TypeFloat64, TypeInt64, TypeFloat64},
+		{TypeString, TypeInt64, TypeString},
+		{TypeNull, TypeInt64, TypeInt64},
+		{TypeNull, TypeNull, TypeNull},
+	}
+	for _, tc := range tests {
+		if got := CommonType(tc.a, tc.b); got != tc.want {
+			t.Errorf("CommonType(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(TypeInt64, "123")
+	if err != nil || v.I != 123 {
+		t.Errorf("ParseValue int: %v, %v", v, err)
+	}
+	v, err = ParseValue(TypeFloat64, "1.25")
+	if err != nil || v.F != 1.25 {
+		t.Errorf("ParseValue float: %v, %v", v, err)
+	}
+	v, err = ParseValue(TypeString, "abc")
+	if err != nil || v.S != "abc" {
+		t.Errorf("ParseValue string: %v, %v", v, err)
+	}
+	if _, err = ParseValue(TypeInt64, "xyz"); err == nil {
+		t.Error("ParseValue should fail on bad int")
+	}
+	if _, err = ParseValue(TypeNull, "x"); err == nil {
+		t.Error("ParseValue should fail on TypeNull")
+	}
+}
+
+func TestPosListSingleChunk(t *testing.T) {
+	var empty PosList
+	if _, ok := empty.SingleChunk(); ok {
+		t.Error("empty PosList must not report a single chunk")
+	}
+	single := PosList{{Chunk: 3, Offset: 0}, {Chunk: 3, Offset: 9}}
+	if c, ok := single.SingleChunk(); !ok || c != 3 {
+		t.Errorf("SingleChunk = (%d, %v), want (3, true)", c, ok)
+	}
+	multi := PosList{{Chunk: 1}, {Chunk: 2}}
+	if _, ok := multi.SingleChunk(); ok {
+		t.Error("multi-chunk PosList must not report a single chunk")
+	}
+}
+
+func TestRowIDNull(t *testing.T) {
+	if !NullRowID.IsNull() {
+		t.Error("NullRowID.IsNull() = false")
+	}
+	if (RowID{Chunk: 0, Offset: 0}).IsNull() {
+		t.Error("ordinary RowID reported null")
+	}
+}
+
+func TestNativeRoundTrip(t *testing.T) {
+	if Native[int64]() != TypeInt64 || Native[float64]() != TypeFloat64 || Native[string]() != TypeString {
+		t.Error("Native type mapping wrong")
+	}
+	if ToNative[int64](FromNative(int64(7))) != 7 {
+		t.Error("int64 round trip failed")
+	}
+	if ToNative[float64](FromNative(2.5)) != 2.5 {
+		t.Error("float64 round trip failed")
+	}
+	if ToNative[string](FromNative("s")) != "s" {
+		t.Error("string round trip failed")
+	}
+}
+
+// Property: Compare is antisymmetric and transitive-consistent with the
+// native ordering for int64.
+func TestCompareProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		c, ok := Compare(Int(a), Int(b))
+		if !ok {
+			return false
+		}
+		switch {
+		case a < b:
+			return c == -1
+		case a > b:
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareFloatIntMixedProperty(t *testing.T) {
+	f := func(a int64, b float64) bool {
+		c1, ok1 := Compare(Int(a), Float(b))
+		c2, ok2 := Compare(Float(b), Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
