@@ -9,6 +9,8 @@
 //	\generate tpch <sf>   generate TPC-H tables at a scale factor
 //	\tables               list tables
 //	\visualize <sql>      print the unoptimized/optimized LQP and the PQP
+//	\explain <sql>        execute with tracing and print the annotated plan
+//	\metrics              dump the engine metrics registry
 //	\timing on|off        print per-stage timings after each query
 //	\plugins              list available and loaded plugins
 //	\load <plugin>        load a plugin
@@ -51,7 +53,7 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "\\") {
-			if quit := metaCommand(line, engine, plugins, &timing); quit {
+			if quit := metaCommand(line, engine, session, plugins, &timing); quit {
 				return
 			}
 			continue
@@ -67,14 +69,14 @@ func main() {
 	}
 }
 
-func metaCommand(line string, engine *pipeline.Engine, plugins *plugin.Manager, timing *bool) bool {
+func metaCommand(line string, engine *pipeline.Engine, session *pipeline.Session, plugins *plugin.Manager, timing *bool) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "\\q", "\\quit", "\\exit":
 		return true
 	case "\\help":
-		fmt.Println(`\generate tpch <sf>, \tables, \visualize <sql>, \timing on|off,
-\plugins, \load <name>, \unload <name>, \q`)
+		fmt.Println(`\generate tpch <sf>, \tables, \visualize <sql>, \explain <sql>, \metrics,
+\timing on|off, \plugins, \load <name>, \unload <name>, \q`)
 	case "\\tables":
 		for _, name := range engine.StorageManager().TableNames() {
 			t, _ := engine.StorageManager().GetTable(name)
@@ -117,6 +119,22 @@ func metaCommand(line string, engine *pipeline.Engine, plugins *plugin.Manager, 
 		fmt.Print(opt)
 		fmt.Println("-- PQP:")
 		fmt.Print(pqp)
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
+		if sql == "" {
+			fmt.Println("usage: \\explain <sql>")
+			break
+		}
+		ex, err := session.Explain(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(ex.Text)
+	case "\\metrics":
+		for _, m := range engine.Metrics().Snapshot() {
+			fmt.Printf("  %-32s %-10s %d\n", m.Name, m.Kind, m.Value)
+		}
 	case "\\timing":
 		*timing = len(fields) > 1 && fields[1] == "on"
 		fmt.Println("timing:", *timing)

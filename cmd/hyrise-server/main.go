@@ -20,13 +20,20 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:5433", "listen address")
 		tpchSF    = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = none)")
 		scheduler = flag.Bool("scheduler", false, "enable the node-queue scheduler")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and /metrics on this address (empty = disabled)")
+		slowLog   = flag.Bool("slow-log", false, "log slow queries to stderr")
+		slowThr   = flag.Duration("slow-threshold", server.DefaultSlowQueryThreshold, "slow-query log threshold")
 	)
 	flag.Parse()
 
 	cfg := pipeline.DefaultConfig()
 	cfg.UseScheduler = *scheduler
+	cfg.DebugAddr = *debugAddr
 	engine := pipeline.NewEngine(cfg, nil)
 	defer engine.Close()
+	if d := engine.DebugAddr(); d != "" {
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (pprof + /metrics)\n", d)
+	}
 
 	if *tpchSF > 0 {
 		fmt.Fprintf(os.Stderr, "loading TPC-H at scale factor %g...\n", *tpchSF)
@@ -41,6 +48,9 @@ func main() {
 	}
 
 	srv := server.New(engine)
+	if *slowLog {
+		srv.EnableSlowQueryLog(os.Stderr, *slowThr)
+	}
 	actual, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

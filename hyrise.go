@@ -23,6 +23,7 @@ import (
 
 	"hyrise/internal/benchmark"
 	"hyrise/internal/concurrency"
+	"hyrise/internal/observe"
 	"hyrise/internal/pipeline"
 	"hyrise/internal/plugin"
 	"hyrise/internal/server"
@@ -105,6 +106,25 @@ func (db *Database) ExecutePrepared(name string, params []Value) (*Result, error
 func (db *Database) Plans(sql string) (unoptimized, optimized, physical string, err error) {
 	return db.engine.Plans(sql)
 }
+
+// Explain executes the statement with tracing enabled and returns the
+// EXPLAIN ANALYZE-style result: stage timings plus the plan annotated with
+// per-operator durations, row counts, and pruned chunks.
+func (db *Database) Explain(sql string) (*ExplainResult, error) {
+	return db.session.Explain(sql)
+}
+
+// ExplainResult is the annotated-plan outcome of Explain.
+type ExplainResult = pipeline.ExplainResult
+
+// Metrics exposes the engine's metrics registry — also queryable as the
+// meta_metrics table (`SELECT * FROM meta_metrics`) and served as JSON on
+// the debug endpoint when Config.DebugAddr is set.
+func (db *Database) Metrics() *observe.Registry { return db.engine.Metrics() }
+
+// SetTraceSink installs fn to receive a trace for every planned statement;
+// nil uninstalls it.
+func (db *Database) SetTraceSink(fn func(*observe.Trace)) { db.engine.SetTraceSink(fn) }
 
 // Plugins exposes the plugin manager (paper §3).
 func (db *Database) Plugins() *plugin.Manager { return db.plugins }

@@ -53,6 +53,14 @@ type TransactionManager struct {
 	// id, stamp all row versions, then publish the new last commit id.
 	// Readers that start mid-commit still see the previous snapshot.
 	commitMu sync.Mutex
+
+	committed atomic.Int64
+	aborted   atomic.Int64
+}
+
+// Stats reports lifetime transaction counts (started, committed, aborted).
+func (tm *TransactionManager) Stats() (started, committed, aborted int64) {
+	return int64(tm.nextTID.Load()), tm.committed.Load(), tm.aborted.Load()
 }
 
 // NewTransactionManager creates a manager; commit id 0 is "the beginning of
@@ -172,6 +180,7 @@ func (tc *TransactionContext) Commit() error {
 	tc.tm.lastCID.Store(uint64(cid))
 	tc.tm.commitMu.Unlock()
 	tc.phase = Committed
+	tc.tm.committed.Add(1)
 	return nil
 }
 
@@ -192,6 +201,7 @@ func (tc *TransactionContext) Rollback() {
 		r.chunk.MvccData().ReleaseTID(r.row, tc.tid)
 	}
 	tc.phase = RolledBack
+	tc.tm.aborted.Add(1)
 }
 
 // Visible reports whether a row version is visible to the transaction

@@ -1,0 +1,61 @@
+package observe
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional diagnostics HTTP endpoint: Go's pprof
+// handlers plus a JSON dump of the metrics registry. It is disabled by
+// default and enabled through the engine config's DebugAddr (wired to the
+// hyrise-server -debug-addr flag).
+type DebugServer struct {
+	addr     string
+	listener net.Listener
+	srv      *http.Server
+}
+
+// StartDebugServer binds addr (e.g. "127.0.0.1:6060"; port 0 picks a free
+// port) and serves in a background goroutine.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := reg.Snapshot()
+		obj := make(map[string]int64, len(snap))
+		for _, m := range snap {
+			obj[m.Name] = m.Value
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(obj)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		addr:     l.Addr().String(),
+		listener: l,
+		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = d.srv.Serve(l) }()
+	return d, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Close stops the listener and the server.
+func (d *DebugServer) Close() error {
+	return d.srv.Close()
+}

@@ -1,0 +1,166 @@
+package observe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageSpan is the wall time of one pipeline stage (parse, translate,
+// optimize, to_pqp, execute).
+type StageSpan struct {
+	Name     string
+	Duration time.Duration
+}
+
+// OpSpan aggregates the executions of one physical operator within a single
+// query. Operators inside correlated subqueries run once per distinct
+// parameter binding; their spans accumulate across calls.
+type OpSpan struct {
+	// Name is the operator's diagnostic name (e.g. "TableScan(a > 3)").
+	Name string
+	// Seq is the completion order of the operator's first execution;
+	// with inline execution children finish before their parents.
+	Seq int64
+	// Calls counts executions (> 1 only for re-executed subquery plans).
+	Calls int64
+	// Duration is the summed wall time across calls.
+	Duration time.Duration
+	// RowsIn / RowsOut are the summed input and output row counts.
+	RowsIn, RowsOut int64
+	// ChunksPruned is the number of chunks the optimizer excluded before
+	// this operator touched the table (GetTable only).
+	ChunksPruned int64
+}
+
+// Trace is the record of one query execution: per-stage wall times plus
+// per-operator spans. A nil *Trace disables collection; the executor's only
+// cost is one pointer check per operator. Traces are safe for concurrent
+// recording (operator tasks may run on scheduler workers).
+type Trace struct {
+	// SQL is the statement text being traced.
+	SQL string
+	// CacheHit reports whether the physical plan came from the plan cache.
+	CacheHit bool
+
+	mu     sync.Mutex
+	stages []StageSpan
+	ops    map[any]*OpSpan
+	seq    int64
+	total  time.Duration
+}
+
+// NewTrace starts an empty trace for the statement.
+func NewTrace(sql string) *Trace {
+	return &Trace{SQL: sql, ops: make(map[any]*OpSpan)}
+}
+
+// AddStage appends a stage span (stages are reported in insertion order).
+func (t *Trace) AddStage(name string, d time.Duration) {
+	t.mu.Lock()
+	t.stages = append(t.stages, StageSpan{Name: name, Duration: d})
+	t.mu.Unlock()
+}
+
+// Stages returns the recorded stage spans in order.
+func (t *Trace) Stages() []StageSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageSpan(nil), t.stages...)
+}
+
+// StageTotal sums the stage durations.
+func (t *Trace) StageTotal() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, s := range t.stages {
+		sum += s.Duration
+	}
+	return sum
+}
+
+// SetTotal records the end-to-end wall time of the traced execution.
+func (t *Trace) SetTotal(d time.Duration) {
+	t.mu.Lock()
+	t.total = d
+	t.mu.Unlock()
+}
+
+// Total returns the end-to-end wall time.
+func (t *Trace) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// RecordOp accumulates one operator execution under the given key (the
+// executor uses the operator instance itself). Durations clamp to at least
+// 1ns so every executed operator reports non-zero time.
+func (t *Trace) RecordOp(key any, name string, d time.Duration, rowsIn, rowsOut, chunksPruned int64) {
+	if d <= 0 {
+		d = 1
+	}
+	t.mu.Lock()
+	sp, ok := t.ops[key]
+	if !ok {
+		t.seq++
+		sp = &OpSpan{Name: name, Seq: t.seq}
+		t.ops[key] = sp
+	}
+	sp.Calls++
+	sp.Duration += d
+	sp.RowsIn += rowsIn
+	sp.RowsOut += rowsOut
+	sp.ChunksPruned += chunksPruned
+	t.mu.Unlock()
+}
+
+// Op returns a copy of the span recorded under key, or nil if the operator
+// never executed.
+func (t *Trace) Op(key any) *OpSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp, ok := t.ops[key]
+	if !ok {
+		return nil
+	}
+	cp := *sp
+	return &cp
+}
+
+// OpSpans returns copies of all operator spans ordered by completion (Seq).
+func (t *Trace) OpSpans() []OpSpan {
+	t.mu.Lock()
+	out := make([]OpSpan, 0, len(t.ops))
+	for _, sp := range t.ops {
+		out = append(out, *sp)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// String renders the trace header and stage breakdown (the operator tree is
+// rendered by the operators package, which knows the plan shape).
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %s\n", t.SQL)
+	t.mu.Lock()
+	stages := append([]StageSpan(nil), t.stages...)
+	total := t.total
+	t.mu.Unlock()
+	b.WriteString("stages:")
+	var sum time.Duration
+	for _, s := range stages {
+		fmt.Fprintf(&b, " %s=%v", s.Name, s.Duration)
+		sum += s.Duration
+	}
+	if total > 0 {
+		fmt.Fprintf(&b, " | total=%v (stages %.1f%%)", total, 100*float64(sum)/float64(total))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

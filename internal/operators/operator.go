@@ -8,11 +8,14 @@ package operators
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"hyrise/internal/concurrency"
 	"hyrise/internal/encoding"
 	"hyrise/internal/expression"
+	"hyrise/internal/observe"
 	"hyrise/internal/scheduler"
 	"hyrise/internal/storage"
 	"hyrise/internal/types"
@@ -45,6 +48,13 @@ type ExecContext struct {
 	// (no specialized scans, no static materialization) — the
 	// "Hyrise1-style runtime abstraction" baseline of Figure 3b/Figure 6.
 	DynamicAccess bool
+	// Trace, when non-nil, collects a span per operator execution (name,
+	// duration, row counts, chunks pruned). Nil disables tracing; the only
+	// hot-path cost is one pointer check per operator.
+	Trace *observe.Trace
+	// Metrics, when non-nil, receives global execution counters (rows
+	// scanned, operators executed).
+	Metrics *observe.ExecMetrics
 
 	// subqueryCache memoizes subquery executions by (id, params) so
 	// correlated subqueries re-execute only once per distinct parameter
@@ -59,7 +69,9 @@ func NewExecContext(sm *storage.StorageManager, sched scheduler.Scheduler, tx *c
 
 // child derives a context for a subquery invocation with bound parameters.
 // The subquery cache is shared so nested invocations memoize globally per
-// execution.
+// execution. Metrics propagate (subquery scans count globally); the trace
+// does not — subquery time is attributed to the operator that evaluates the
+// subquery expression, keeping the annotated plan tree-shaped.
 func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 	return &ExecContext{
 		Tx:            ctx.Tx,
@@ -67,6 +79,7 @@ func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 		SM:            ctx.SM,
 		Params:        params,
 		DynamicAccess: ctx.DynamicAccess,
+		Metrics:       ctx.Metrics,
 	}
 }
 
@@ -85,52 +98,89 @@ func (ctx *ExecContext) runJobs(jobs []func()) {
 // Execute runs a physical plan: every operator becomes a task whose
 // dependencies are its inputs; tasks run through the context's scheduler
 // (or inline without one) and the root's output is returned.
+//
+// Error surfacing is deterministic: only operators that fail themselves
+// record an error (input failures propagate as a flag, never as a synthetic
+// error), and among several failures the deepest operator wins, with plan
+// order as the tie-break. The selection happens at task time against static
+// (depth, order) keys, so the same failing plan reports the same root cause
+// regardless of scheduler interleaving.
 func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 	results := make(map[Operator]*storage.Table)
-	errs := make(map[Operator]error)
+	failed := make(map[Operator]bool)
 	var mu sync.Mutex
+	var rootErr error
+	var rootErrDepth, rootErrOrder int
 
 	var tasks []*scheduler.Task
 	taskOf := make(map[Operator]*scheduler.Task)
+	nextOrder := 0
 
-	var build func(op Operator) *scheduler.Task
-	build = func(op Operator) *scheduler.Task {
+	var build func(op Operator, depth int) *scheduler.Task
+	build = func(op Operator, depth int) *scheduler.Task {
 		if t, ok := taskOf[op]; ok {
 			return t
 		}
 		inputs := op.Inputs()
+		opDepth, opOrder := depth, nextOrder
+		nextOrder++
 		t := scheduler.NewTask(func() {
 			inTables := make([]*storage.Table, len(inputs))
 			mu.Lock()
-			failed := false
+			bad := false
 			for i, in := range inputs {
-				if errs[in] != nil {
-					failed = true
+				if failed[in] {
+					bad = true
 					break
 				}
 				inTables[i] = results[in]
 			}
 			mu.Unlock()
-			if failed {
+			if bad {
 				mu.Lock()
-				errs[op] = fmt.Errorf("operators: input of %s failed", op.Name())
+				failed[op] = true
 				mu.Unlock()
 				return
 			}
+			var t0 time.Time
+			if ctx.Trace != nil {
+				t0 = time.Now()
+			}
 			out, err := op.Run(ctx, inTables)
+			if ctx.Trace != nil && err == nil {
+				recordSpan(ctx.Trace, op, time.Since(t0), inTables, out)
+			}
+			if ctx.Metrics != nil {
+				ctx.Metrics.OperatorsExecuted.Inc()
+				switch op.(type) {
+				case *TableScan, *IndexScan:
+					for _, in := range inTables {
+						if in != nil {
+							ctx.Metrics.RowsScanned.Add(int64(in.RowCount()))
+						}
+					}
+				}
+			}
 			mu.Lock()
-			results[op] = out
-			errs[op] = err
+			if err != nil {
+				failed[op] = true
+				if rootErr == nil || opDepth > rootErrDepth ||
+					(opDepth == rootErrDepth && opOrder < rootErrOrder) {
+					rootErr, rootErrDepth, rootErrOrder = err, opDepth, opOrder
+				}
+			} else {
+				results[op] = out
+			}
 			mu.Unlock()
 		}).Named(op.Name())
 		taskOf[op] = t
 		for _, in := range inputs {
-			t.DependsOn(build(in))
+			t.DependsOn(build(in, depth+1))
 		}
 		tasks = append(tasks, t)
 		return t
 	}
-	rootTask := build(root)
+	rootTask := build(root, 0)
 
 	sched := ctx.Scheduler
 	if sched == nil {
@@ -141,33 +191,28 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 
 	mu.Lock()
 	defer mu.Unlock()
-	// Surface the deepest error (the original cause, not cascaded input
-	// failures).
-	for op, err := range errs {
-		if err != nil && len(op.Inputs()) == 0 {
-			return nil, err
-		}
-	}
-	var anyErr error
-	for op, err := range errs {
-		if err == nil {
-			continue
-		}
-		inputsOK := true
-		for _, in := range op.Inputs() {
-			if errs[in] != nil {
-				inputsOK = false
-			}
-		}
-		if inputsOK {
-			return nil, err
-		}
-		anyErr = err
-	}
-	if anyErr != nil {
-		return nil, anyErr
+	if rootErr != nil {
+		return nil, rootErr
 	}
 	return results[root], nil
+}
+
+// recordSpan files one operator execution into the trace.
+func recordSpan(tr *observe.Trace, op Operator, d time.Duration, inputs []*storage.Table, out *storage.Table) {
+	var rowsIn, rowsOut int64
+	for _, in := range inputs {
+		if in != nil {
+			rowsIn += int64(in.RowCount())
+		}
+	}
+	if out != nil {
+		rowsOut = int64(out.RowCount())
+	}
+	var pruned int64
+	if gt, ok := op.(*GetTable); ok {
+		pruned = int64(len(gt.PrunedChunks))
+	}
+	tr.RecordOp(op, op.Name(), d, rowsIn, rowsOut, pruned)
 }
 
 // PlanString renders a PQP tree for the console's visualize command.
@@ -186,6 +231,42 @@ func PlanString(root Operator) string {
 	}
 	walk(root, 0)
 	return string(sb)
+}
+
+// AnnotatedPlanString renders a PQP tree with the trace's per-operator
+// measurements — the EXPLAIN ANALYZE output format.
+func AnnotatedPlanString(root Operator, tr *observe.Trace) string {
+	var b strings.Builder
+	var walk func(op Operator, depth int)
+	walk = func(op Operator, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(op.Name())
+		if sp := tr.Op(op); sp != nil {
+			b.WriteString("  [time=")
+			b.WriteString(sp.Duration.String())
+			if len(op.Inputs()) > 0 {
+				fmt.Fprintf(&b, ", in=%d rows", sp.RowsIn)
+			}
+			fmt.Fprintf(&b, ", out=%d rows", sp.RowsOut)
+			if sp.ChunksPruned > 0 {
+				fmt.Fprintf(&b, ", pruned=%d chunks", sp.ChunksPruned)
+			}
+			if sp.Calls > 1 {
+				fmt.Fprintf(&b, ", calls=%d", sp.Calls)
+			}
+			b.WriteByte(']')
+		} else {
+			b.WriteString("  [not executed]")
+		}
+		b.WriteByte('\n')
+		for _, in := range op.Inputs() {
+			walk(in, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
 }
 
 // dynamicVector materializes a segment through the per-value interface

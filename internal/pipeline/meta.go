@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"hyrise/internal/encoding"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Meta-tables expose engine internals as plain relational tables, queryable
+// through every SQL entry point including the wire protocol (real Hyrise's
+// meta_* tables serve the same role). Providers build a fresh snapshot per
+// query, so repeated SELECTs observe advancing telemetry. They are built
+// without MVCC columns: the translator plants no Validate node over them,
+// and the snapshot is immutable anyway.
+
+// registerMetaTables installs the engine's virtual system tables in the
+// catalog.
+func (e *Engine) registerMetaTables() {
+	e.sm.RegisterMetaTable("meta_tables", e.buildMetaTables)
+	e.sm.RegisterMetaTable("meta_segments", e.buildMetaSegments)
+	e.sm.RegisterMetaTable("meta_metrics", e.buildMetaMetrics)
+}
+
+// buildMetaTables snapshots one row per base table: schema shape and memory
+// footprint.
+func (e *Engine) buildMetaTables() (*storage.Table, error) {
+	defs := []storage.ColumnDefinition{
+		{Name: "table_name", Type: types.TypeString},
+		{Name: "row_count", Type: types.TypeInt64},
+		{Name: "chunk_count", Type: types.TypeInt64},
+		{Name: "column_count", Type: types.TypeInt64},
+		{Name: "target_chunk_size", Type: types.TypeInt64},
+		{Name: "data_bytes", Type: types.TypeInt64},
+		{Name: "metadata_bytes", Type: types.TypeInt64},
+	}
+	out := storage.NewTable("meta_tables", defs, 0, false)
+	for _, name := range e.sm.TableNames() {
+		t, err := e.sm.GetTable(name)
+		if err != nil {
+			continue // dropped between listing and lookup
+		}
+		data, metadata := t.MemoryUsage()
+		if _, err := out.AppendRow([]types.Value{
+			types.Str(t.Name()),
+			types.Int(int64(t.RowCount())),
+			types.Int(int64(t.ChunkCount())),
+			types.Int(int64(t.ColumnCount())),
+			types.Int(int64(t.TargetChunkSize())),
+			types.Int(data),
+			types.Int(metadata),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
+}
+
+// buildMetaSegments snapshots one row per table x chunk x column: the
+// physical layout, including the encoding actually applied to each segment
+// (paper §2.3: encodings are chosen per segment, not per column).
+func (e *Engine) buildMetaSegments() (*storage.Table, error) {
+	defs := []storage.ColumnDefinition{
+		{Name: "table_name", Type: types.TypeString},
+		{Name: "chunk_id", Type: types.TypeInt64},
+		{Name: "column_id", Type: types.TypeInt64},
+		{Name: "column_name", Type: types.TypeString},
+		{Name: "column_type", Type: types.TypeString},
+		{Name: "encoding", Type: types.TypeString},
+		{Name: "rows", Type: types.TypeInt64},
+		{Name: "size_bytes", Type: types.TypeInt64},
+	}
+	out := storage.NewTable("meta_segments", defs, 0, false)
+	for _, name := range e.sm.TableNames() {
+		t, err := e.sm.GetTable(name)
+		if err != nil {
+			continue
+		}
+		cols := t.ColumnDefinitions()
+		for ci, chunk := range t.Chunks() {
+			for col := range cols {
+				seg := chunk.GetSegment(types.ColumnID(col))
+				if seg == nil {
+					continue
+				}
+				if _, err := out.AppendRow([]types.Value{
+					types.Str(t.Name()),
+					types.Int(int64(ci)),
+					types.Int(int64(col)),
+					types.Str(cols[col].Name),
+					types.Str(cols[col].Type.String()),
+					types.Str(segmentEncodingName(seg)),
+					types.Int(int64(seg.Len())),
+					types.Int(seg.MemoryUsage()),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
+}
+
+// segmentEncodingName names a segment's physical representation.
+func segmentEncodingName(seg storage.Segment) string {
+	switch seg.(type) {
+	case *storage.ValueSegment[int64], *storage.ValueSegment[float64], *storage.ValueSegment[string]:
+		return "Unencoded"
+	case *encoding.DictionarySegment[int64], *encoding.DictionarySegment[float64], *encoding.DictionarySegment[string]:
+		return "Dictionary"
+	case *encoding.RunLengthSegment[int64], *encoding.RunLengthSegment[float64], *encoding.RunLengthSegment[string]:
+		return "RunLength"
+	case *encoding.FrameOfReferenceSegment:
+		return "FrameOfReference"
+	case *storage.ReferenceSegment:
+		return "Reference"
+	default:
+		return "Unknown"
+	}
+}
+
+// buildMetaMetrics snapshots the metrics registry: one row per metric, with
+// histograms already expanded into _count/_sum/_max/_p50/_p95/_p99 rows.
+func (e *Engine) buildMetaMetrics() (*storage.Table, error) {
+	defs := []storage.ColumnDefinition{
+		{Name: "name", Type: types.TypeString},
+		{Name: "kind", Type: types.TypeString},
+		{Name: "value", Type: types.TypeInt64},
+	}
+	out := storage.NewTable("meta_metrics", defs, 0, false)
+	for _, m := range e.registry.Snapshot() {
+		if _, err := out.AppendRow([]types.Value{
+			types.Str(m.Name),
+			types.Str(m.Kind),
+			types.Int(m.Value),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
+}

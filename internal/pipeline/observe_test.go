@@ -1,0 +1,315 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyrise/internal/observe"
+)
+
+// newObserveEngine builds an engine with a populated table large enough that
+// execution dominates the stage breakdown.
+func newObserveEngine(t *testing.T, cfg Config, rows int) (*Engine, *Session) {
+	t.Helper()
+	e := NewEngine(cfg, nil)
+	t.Cleanup(e.Close)
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE obs (id INT NOT NULL, grp INT NOT NULL, label VARCHAR(20))")
+	mustExec(t, s, "BEGIN")
+	for i := 0; i < rows; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO obs VALUES (%d, %d, 'row%d')", i, i%7, i))
+	}
+	mustExec(t, s, "COMMIT")
+	return e, s
+}
+
+func metric(t *testing.T, e *Engine, name string) int64 {
+	t.Helper()
+	v, ok := e.Metrics().Get(name)
+	if !ok {
+		t.Fatalf("metric %q not registered", name)
+	}
+	return v
+}
+
+func TestExplainAnnotatedPlan(t *testing.T) {
+	_, s := newObserveEngine(t, DefaultConfig(), 500)
+	ex, err := s.Explain("SELECT grp, COUNT(*) FROM obs WHERE id >= 100 GROUP BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := ex.Trace.OpSpans()
+	if len(spans) < 3 {
+		t.Fatalf("expected at least GetTable/TableScan/Aggregate spans, got %+v", spans)
+	}
+	for _, sp := range spans {
+		if sp.Duration <= 0 {
+			t.Errorf("operator %s has no duration", sp.Name)
+		}
+		if sp.Calls < 1 {
+			t.Errorf("operator %s has no calls", sp.Name)
+		}
+	}
+	// Children complete before parents: the table access must precede the
+	// aggregation in completion order.
+	seqOf := func(prefix string) int64 {
+		for _, sp := range spans {
+			if strings.HasPrefix(sp.Name, prefix) {
+				return sp.Seq
+			}
+		}
+		t.Fatalf("no %s span in %+v", prefix, spans)
+		return 0
+	}
+	if seqOf("GetTable") >= seqOf("TableScan") {
+		t.Error("GetTable should complete before TableScan")
+	}
+	if seqOf("TableScan") >= seqOf("Aggregate") {
+		t.Error("TableScan should complete before Aggregate")
+	}
+
+	// Stage timings must be present in pipeline order and account for the
+	// bulk of the total wall time.
+	var names []string
+	for _, st := range ex.Trace.Stages() {
+		names = append(names, st.Name)
+	}
+	want := []string{"parse", "translate", "optimize", "to_pqp", "execute"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("stages = %v, want %v", names, want)
+	}
+	total, stages := ex.Trace.Total(), ex.Trace.StageTotal()
+	if total <= 0 || stages <= 0 {
+		t.Fatalf("missing timings: total=%v stages=%v", total, stages)
+	}
+	if stages > total {
+		t.Fatalf("stage sum %v exceeds total %v", stages, total)
+	}
+	if float64(stages) < 0.5*float64(total) {
+		t.Errorf("stage sum %v is under half the total %v — timings unaccounted", stages, total)
+	}
+
+	// Rendered text carries the measurements.
+	if !strings.Contains(ex.Text, "EXPLAIN ANALYZE") || !strings.Contains(ex.Text, "rows") ||
+		!strings.Contains(ex.Text, "time=") {
+		t.Errorf("annotated plan text missing measurements:\n%s", ex.Text)
+	}
+	if strings.Contains(ex.Text, "[not executed]") {
+		t.Errorf("plan contains unexecuted operators:\n%s", ex.Text)
+	}
+}
+
+func TestExplainRowCounts(t *testing.T) {
+	_, s := newObserveEngine(t, DefaultConfig(), 200)
+	ex, err := s.Explain("SELECT id FROM obs WHERE id < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan *observe.OpSpan
+	for _, sp := range ex.Trace.OpSpans() {
+		if strings.HasPrefix(sp.Name, "TableScan") {
+			cp := sp
+			scan = &cp
+		}
+	}
+	if scan == nil {
+		t.Fatalf("no TableScan span: %+v", ex.Trace.OpSpans())
+	}
+	if scan.RowsIn != 200 {
+		t.Errorf("scan RowsIn = %d, want 200", scan.RowsIn)
+	}
+	if scan.RowsOut != 50 {
+		t.Errorf("scan RowsOut = %d, want 50", scan.RowsOut)
+	}
+}
+
+func TestExplainRejectsDDL(t *testing.T) {
+	e := NewEngine(DefaultConfig(), nil)
+	defer e.Close()
+	if _, err := e.NewSession().Explain("CREATE TABLE x (a INT)"); err == nil {
+		t.Fatal("Explain on DDL should fail")
+	}
+}
+
+func TestTraceSink(t *testing.T) {
+	e, s := newObserveEngine(t, DefaultConfig(), 10)
+	var traces []*observe.Trace
+	e.SetTraceSink(func(tr *observe.Trace) { traces = append(traces, tr) })
+	mustExec(t, s, "SELECT * FROM obs WHERE id = 3")
+	mustExec(t, s, "SELECT * FROM obs WHERE id = 3")
+	e.SetTraceSink(nil)
+	mustExec(t, s, "SELECT * FROM obs WHERE id = 3")
+
+	if len(traces) != 2 {
+		t.Fatalf("sink received %d traces, want 2 (uninstall must stop delivery)", len(traces))
+	}
+	if traces[0].CacheHit {
+		t.Error("first execution should be a plan-cache miss")
+	}
+	if !traces[1].CacheHit {
+		t.Error("second execution should be a plan-cache hit")
+	}
+	if len(traces[0].OpSpans()) == 0 {
+		t.Error("trace has no operator spans")
+	}
+	// Cache hits skip the build stages.
+	for _, st := range traces[1].Stages() {
+		if st.Name == "translate" || st.Name == "optimize" || st.Name == "to_pqp" {
+			t.Errorf("cache-hit trace contains build stage %s", st.Name)
+		}
+	}
+}
+
+func TestStatementMetrics(t *testing.T) {
+	e, s := newObserveEngine(t, DefaultConfig(), 10)
+	base := metric(t, e, "statements_executed")
+	baseErr := metric(t, e, "statement_errors")
+
+	mustExec(t, s, "SELECT * FROM obs WHERE id >= 0")
+	if _, err := s.ExecuteOne("SELECT * FROM does_not_exist"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+
+	if got := metric(t, e, "statements_executed") - base; got != 2 {
+		t.Errorf("statements_executed advanced by %d, want 2", got)
+	}
+	if got := metric(t, e, "statement_errors") - baseErr; got != 1 {
+		t.Errorf("statement_errors advanced by %d, want 1", got)
+	}
+	if metric(t, e, "rows_scanned") == 0 {
+		t.Error("rows_scanned never advanced")
+	}
+	if metric(t, e, "operators_executed") == 0 {
+		t.Error("operators_executed never advanced")
+	}
+	if v, ok := e.Metrics().Get("query_duration_us"); ok && v != 0 {
+		t.Errorf("histogram base name should not resolve via Get, got %d", v)
+	}
+	hist := map[string]int64{}
+	for _, m := range e.Metrics().Snapshot() {
+		if strings.HasPrefix(m.Name, "query_duration_us") {
+			hist[m.Name] = m.Value
+		}
+	}
+	if hist["query_duration_us_count"] == 0 {
+		t.Errorf("query duration histogram empty: %v", hist)
+	}
+}
+
+func TestTransactionMetrics(t *testing.T) {
+	e, s := newObserveEngine(t, DefaultConfig(), 5)
+	committed := metric(t, e, "transactions_committed")
+	aborted := metric(t, e, "transactions_aborted")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO obs VALUES (100, 0, 'tx')")
+	mustExec(t, s, "COMMIT")
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO obs VALUES (101, 0, 'rolled back')")
+	mustExec(t, s, "ROLLBACK")
+
+	if got := metric(t, e, "transactions_committed") - committed; got < 1 {
+		t.Errorf("transactions_committed advanced by %d, want >= 1", got)
+	}
+	if got := metric(t, e, "transactions_aborted") - aborted; got != 1 {
+		t.Errorf("transactions_aborted advanced by %d, want 1", got)
+	}
+	if metric(t, e, "transactions_started") == 0 {
+		t.Error("transactions_started never advanced")
+	}
+}
+
+func TestPlanCacheMetrics(t *testing.T) {
+	e, s := newObserveEngine(t, DefaultConfig(), 5)
+	hits := metric(t, e, "plan_cache_hits")
+	misses := metric(t, e, "plan_cache_misses")
+
+	mustExec(t, s, "SELECT grp FROM obs WHERE id = 1")
+	mustExec(t, s, "SELECT grp FROM obs WHERE id = 1")
+
+	if got := metric(t, e, "plan_cache_misses") - misses; got < 1 {
+		t.Errorf("plan_cache_misses advanced by %d, want >= 1", got)
+	}
+	if got := metric(t, e, "plan_cache_hits") - hits; got != 1 {
+		t.Errorf("plan_cache_hits advanced by %d, want 1", got)
+	}
+	if metric(t, e, "plan_cache_size") == 0 {
+		t.Error("plan_cache_size should be non-zero after caching a plan")
+	}
+}
+
+func TestSchedulerMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseScheduler = true
+	cfg.SchedulerWorkers = 2
+	e, s := newObserveEngine(t, cfg, 20)
+	base := metric(t, e, "scheduler_tasks_run")
+	mustExec(t, s, "SELECT * FROM obs WHERE id > 5")
+	if got := metric(t, e, "scheduler_tasks_run"); got <= base {
+		t.Errorf("scheduler_tasks_run did not advance (%d -> %d)", base, got)
+	}
+	if metric(t, e, "scheduler_workers") != 2 {
+		t.Errorf("scheduler_workers = %d, want 2", metric(t, e, "scheduler_workers"))
+	}
+}
+
+func TestMetaTablesSQL(t *testing.T) {
+	_, s := newObserveEngine(t, DefaultConfig(), 25)
+	got := rows(t, s, "SELECT table_name, row_count, column_count FROM meta_tables WHERE table_name = 'obs'")
+	if len(got) != 1 {
+		t.Fatalf("meta_tables rows = %v", got)
+	}
+	if got[0][1] != "25" || got[0][2] != "3" {
+		t.Errorf("meta_tables row = %v, want 25 rows / 3 columns", got[0])
+	}
+
+	segs := rows(t, s, "SELECT column_name, encoding FROM meta_segments WHERE table_name = 'obs'")
+	if len(segs) != 3 { // one chunk x three columns
+		t.Fatalf("meta_segments rows = %v", segs)
+	}
+	for _, r := range segs {
+		if r[1] != "Unencoded" {
+			t.Errorf("fresh chunk segment encoding = %v, want Unencoded", r)
+		}
+	}
+}
+
+func TestMetaMetricsAdvances(t *testing.T) {
+	_, s := newObserveEngine(t, DefaultConfig(), 5)
+	read := func() int64 {
+		r := rows(t, s, "SELECT value FROM meta_metrics WHERE name = 'statements_executed'")
+		if len(r) != 1 {
+			t.Fatalf("meta_metrics rows = %v", r)
+		}
+		v, err := strconv.ParseInt(r[0][0], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	first := read()
+	second := read()
+	if second <= first {
+		t.Fatalf("meta_metrics snapshot did not advance between queries: %d -> %d", first, second)
+	}
+}
+
+func TestMetaTableNameReserved(t *testing.T) {
+	e := NewEngine(DefaultConfig(), nil)
+	defer e.Close()
+	if _, err := e.NewSession().ExecuteOne("CREATE TABLE meta_metrics (a INT)"); err == nil {
+		t.Fatal("creating a table named meta_metrics should fail")
+	}
+}
+
+func TestDebugEndpointViaConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DebugAddr = "127.0.0.1:0"
+	e := NewEngine(cfg, nil)
+	defer e.Close()
+	if e.DebugAddr() == "" {
+		t.Fatal("debug endpoint did not start")
+	}
+}

@@ -7,14 +7,17 @@ package pipeline
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyrise/internal/cache"
 	"hyrise/internal/concurrency"
 	"hyrise/internal/fusion"
 	"hyrise/internal/lqp"
+	"hyrise/internal/observe"
 	"hyrise/internal/operators"
 	"hyrise/internal/optimizer"
 	"hyrise/internal/scheduler"
@@ -56,6 +59,10 @@ type Config struct {
 	DynamicAccess bool
 	// HistogramType selects the statistics histogram flavor.
 	HistogramType statistics.HistogramType
+	// DebugAddr, when non-empty, serves a diagnostics HTTP endpoint on the
+	// address: net/http/pprof plus a JSON dump of the metrics registry at
+	// /metrics (port 0 picks a free port; see Engine.DebugAddr).
+	DebugAddr string
 }
 
 // DefaultConfig enables everything except the scheduler, mirroring the
@@ -83,8 +90,22 @@ type Engine struct {
 
 	planCache *cache.LRU[string, *cachedPlan]
 
+	registry  *observe.Registry
+	metrics   *engineMetrics
+	traceSink atomic.Pointer[func(*observe.Trace)]
+	debug     *observe.DebugServer
+
 	mu       sync.Mutex
 	prepared map[string]string // name -> SQL text
+}
+
+// engineMetrics holds the pre-resolved hot-path metric handles so statement
+// execution never touches the registry's maps.
+type engineMetrics struct {
+	statements *observe.Counter
+	errors     *observe.Counter
+	queryUS    *observe.Histogram
+	exec       *observe.ExecMetrics
 }
 
 type cachedPlan struct {
@@ -111,7 +132,40 @@ func NewEngine(cfg Config, sm *storage.StorageManager) *Engine {
 	} else {
 		e.sched = scheduler.NewImmediateScheduler()
 	}
+	e.initObservability()
 	return e
+}
+
+// initObservability creates the metrics registry, registers the pull-style
+// metrics of the instrumented subsystems, installs the meta_* tables, and
+// starts the optional debug HTTP endpoint.
+func (e *Engine) initObservability() {
+	r := observe.NewRegistry()
+	e.registry = r
+	e.metrics = &engineMetrics{
+		statements: r.Counter("statements_executed"),
+		errors:     r.Counter("statement_errors"),
+		queryUS:    r.Histogram("query_duration_us"),
+		exec:       observe.NewExecMetrics(r),
+	}
+	r.RegisterFunc("plan_cache_hits", func() int64 { h, _ := e.planCache.Stats(); return h })
+	r.RegisterFunc("plan_cache_misses", func() int64 { _, m := e.planCache.Stats(); return m })
+	r.RegisterFunc("plan_cache_size", func() int64 { return int64(e.planCache.Len()) })
+	r.RegisterFunc("transactions_started", func() int64 { s, _, _ := e.tm.Stats(); return s })
+	r.RegisterFunc("transactions_committed", func() int64 { _, c, _ := e.tm.Stats(); return c })
+	r.RegisterFunc("transactions_aborted", func() int64 { _, _, a := e.tm.Stats(); return a })
+	r.RegisterFunc("scheduler_tasks_run", func() int64 { return e.sched.Stats().TasksRun })
+	r.RegisterFunc("scheduler_queue_depth", func() int64 { return e.sched.Stats().QueueDepth })
+	r.RegisterFunc("scheduler_workers", func() int64 { return int64(e.sched.WorkerCount()) })
+	e.registerMetaTables()
+	if e.cfg.DebugAddr != "" {
+		d, err := observe.StartDebugServer(e.cfg.DebugAddr, r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipeline: debug endpoint on %s: %v\n", e.cfg.DebugAddr, err)
+		} else {
+			e.debug = d
+		}
+	}
 }
 
 // Config returns the engine configuration.
@@ -132,8 +186,37 @@ func (e *Engine) Statistics() *statistics.Cache { return e.stats }
 // PlanCacheStats returns plan cache hit/miss counters.
 func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.planCache.Stats() }
 
-// Close shuts the scheduler down.
-func (e *Engine) Close() { e.sched.Shutdown() }
+// Metrics exposes the engine's metrics registry (also queryable through the
+// meta_metrics table and the debug endpoint's /metrics dump).
+func (e *Engine) Metrics() *observe.Registry { return e.registry }
+
+// SetTraceSink installs fn to receive a Trace for every planned statement
+// the engine executes; nil uninstalls it. Without a sink, tracing costs
+// one atomic load per statement and allocates nothing.
+func (e *Engine) SetTraceSink(fn func(*observe.Trace)) {
+	if fn == nil {
+		e.traceSink.Store(nil)
+		return
+	}
+	e.traceSink.Store(&fn)
+}
+
+// DebugAddr returns the bound address of the debug HTTP endpoint ("" when
+// disabled). Useful when Config.DebugAddr used port 0.
+func (e *Engine) DebugAddr() string {
+	if e.debug == nil {
+		return ""
+	}
+	return e.debug.Addr()
+}
+
+// Close shuts the scheduler and the debug endpoint down.
+func (e *Engine) Close() {
+	if e.debug != nil {
+		_ = e.debug.Close()
+	}
+	e.sched.Shutdown()
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -297,8 +380,36 @@ func tagOf(stmt sqlparser.Statement) string {
 }
 
 // runPlanned executes SELECT/INSERT/UPDATE/DELETE through the planning
-// pipeline, using the plan cache for repeated SELECTs.
+// pipeline, using the plan cache for repeated SELECTs. It updates the
+// engine metrics and, when a trace sink is installed, records and delivers
+// a per-execution trace.
 func (s *Session) runPlanned(stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
+	engine := s.engine
+	m := engine.metrics
+	var trace *observe.Trace
+	sink := engine.traceSink.Load()
+	if sink != nil {
+		trace = observe.NewTrace(strings.TrimSpace(sqlText))
+	}
+	start := time.Now()
+	res, err := s.execPlanned(stmt, sqlText, cacheable, trace)
+	m.statements.Inc()
+	if err != nil {
+		m.errors.Inc()
+		return nil, err
+	}
+	m.queryUS.Observe(time.Since(start).Microseconds())
+	if trace != nil {
+		trace.CacheHit = res.Timing.CacheHit
+		recordStages(trace, res.Timing)
+		trace.SetTotal(time.Since(start))
+		(*sink)(trace)
+	}
+	return res, nil
+}
+
+// execPlanned resolves the physical plan (cache or fresh build) and runs it.
+func (s *Session) execPlanned(stmt sqlparser.Statement, sqlText string, cacheable bool, trace *observe.Trace) (*Result, error) {
 	engine := s.engine
 	isDML := isDMLStatement(stmt)
 	timing := Timing{}
@@ -322,8 +433,13 @@ func (s *Session) runPlanned(stmt sqlparser.Statement, sqlText string, cacheable
 			engine.planCache.Put(key, plan)
 		}
 	}
+	return s.executePlan(plan, stmt, &timing, trace)
+}
 
-	// Transactions: explicit when open, auto-commit otherwise.
+// executePlan runs an already-built physical plan under the session's
+// transaction (explicit when open, auto-commit otherwise).
+func (s *Session) executePlan(plan *cachedPlan, stmt sqlparser.Statement, timing *Timing, trace *observe.Trace) (*Result, error) {
+	engine := s.engine
 	tx := s.tx
 	autoCommit := false
 	if engine.cfg.UseMvcc && tx == nil {
@@ -334,6 +450,8 @@ func (s *Session) runPlanned(stmt sqlparser.Statement, sqlText string, cacheable
 	execStart := time.Now()
 	ctx := operators.NewExecContext(engine.sm, engine.sched, tx)
 	ctx.DynamicAccess = engine.cfg.DynamicAccess
+	ctx.Trace = trace
+	ctx.Metrics = engine.metrics.exec
 	out, err := operators.Execute(plan.root, ctx)
 	timing.Execute = time.Since(execStart)
 	if err != nil {
@@ -354,11 +472,23 @@ func (s *Session) runPlanned(stmt sqlparser.Statement, sqlText string, cacheable
 		}
 	}
 
-	res := &Result{Table: out, Columns: plan.columns, Tag: tagOf(stmt), Timing: timing}
-	if isDML && out != nil && out.RowCount() > 0 {
+	res := &Result{Table: out, Columns: plan.columns, Tag: tagOf(stmt), Timing: *timing}
+	if isDMLStatement(stmt) && out != nil && out.RowCount() > 0 {
 		res.RowsAffected = out.GetValue(0, types.RowID{}).I
 	}
 	return res, nil
+}
+
+// recordStages files the pipeline stage timings into a trace. Build stages
+// are omitted on plan-cache hits (they did not run).
+func recordStages(tr *observe.Trace, t Timing) {
+	tr.AddStage("parse", t.Parse)
+	if !t.CacheHit {
+		tr.AddStage("translate", t.Translate)
+		tr.AddStage("optimize", t.Optimize)
+		tr.AddStage("to_pqp", t.ToPQP)
+	}
+	tr.AddStage("execute", t.Execute)
 }
 
 // buildPlan runs translate/optimize/PQP-translate.
@@ -424,6 +554,65 @@ func (e *Engine) Plans(sql string) (logicalUnoptimized, logicalOptimized string,
 		return logicalUnoptimized, logicalOptimized, "", err
 	}
 	return logicalUnoptimized, logicalOptimized, operators.PlanString(root), nil
+}
+
+// ExplainResult is the outcome of an EXPLAIN ANALYZE-style execution: the
+// annotated plan text, the raw trace, and the query result itself.
+type ExplainResult struct {
+	// Text is the rendered stage breakdown plus the annotated plan.
+	Text string
+	// Trace holds the raw stage and operator spans.
+	Trace *observe.Trace
+	// Result is the executed statement's result (Explain runs the query).
+	Result *Result
+}
+
+// Explain executes the statement with tracing enabled and returns the
+// annotated plan (paper §2.6 extended from static plan text to runtime
+// behavior: per-stage wall times and per-operator durations, row counts,
+// and pruning). The plan is always built fresh — Explain measures the whole
+// pipeline, bypassing and not populating the plan cache.
+func (s *Session) Explain(sql string) (*ExplainResult, error) {
+	engine := s.engine
+	start := time.Now()
+	stmt, err := sqlparser.ParseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *sqlparser.SelectStatement, *sqlparser.InsertStatement,
+		*sqlparser.UpdateStatement, *sqlparser.DeleteStatement:
+	default:
+		return nil, fmt.Errorf("pipeline: EXPLAIN supports SELECT/INSERT/UPDATE/DELETE, not %T", stmt)
+	}
+	timing := Timing{Parse: time.Since(start)}
+	plan, err := engine.buildPlan(stmt, &timing)
+	if err != nil {
+		return nil, err
+	}
+	trace := observe.NewTrace(strings.TrimSpace(sql))
+	res, err := s.executePlan(plan, stmt, &timing, trace)
+	if err != nil {
+		return nil, err
+	}
+	recordStages(trace, res.Timing)
+	trace.SetTotal(time.Since(start))
+
+	var b strings.Builder
+	b.WriteString("EXPLAIN ANALYZE: ")
+	b.WriteString(trace.SQL)
+	b.WriteString("\nstages:")
+	for _, st := range trace.Stages() {
+		fmt.Fprintf(&b, " %s=%v", st.Name, st.Duration)
+	}
+	total := trace.Total()
+	if total > 0 {
+		fmt.Fprintf(&b, " | total=%v (stages %.1f%%)", total,
+			100*float64(trace.StageTotal())/float64(total))
+	}
+	b.WriteByte('\n')
+	b.WriteString(operators.AnnotatedPlanString(plan.root, trace))
+	return &ExplainResult{Text: b.String(), Trace: trace, Result: res}, nil
 }
 
 // Prepare registers a named prepared statement (paper §2.6: "for prepared

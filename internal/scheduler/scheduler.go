@@ -95,6 +95,9 @@ func (t *Task) run() {
 	if t.fn != nil {
 		t.fn()
 	}
+	if t.sched != nil {
+		t.sched.noteTaskRun()
+	}
 	t.finished.Store(true)
 	close(t.done)
 	// "Once a task finishes, it iterates over its list of successors and
@@ -111,6 +114,16 @@ func (t *Task) run() {
 	}
 }
 
+// Stats is a point-in-time snapshot of a scheduler's activity (exposed
+// through the metrics registry and the meta_metrics table).
+type Stats struct {
+	// TasksRun counts tasks executed since the scheduler was created.
+	TasksRun int64
+	// QueueDepth is the number of tasks currently waiting in queues
+	// (always 0 for immediate execution).
+	QueueDepth int64
+}
+
 // Scheduler executes tasks.
 type Scheduler interface {
 	// Schedule submits tasks; tasks with open dependencies start once those
@@ -118,10 +131,13 @@ type Scheduler interface {
 	Schedule(tasks ...*Task)
 	// WorkerCount returns the number of workers (1 for immediate).
 	WorkerCount() int
+	// Stats reports tasks run and current queue depth.
+	Stats() Stats
 	// Shutdown stops all workers after the queues drain.
 	Shutdown()
 
 	enqueueReady(t *Task)
+	noteTaskRun()
 }
 
 // WaitAll waits for all given tasks.
@@ -137,7 +153,9 @@ func WaitAll(tasks []*Task) {
 // When a task has unfinished predecessors, those are executed first (paper:
 // "when schedule is called on a task, it is either directly executed or,
 // if it has predecessors, their predecessors are executed first").
-type ImmediateScheduler struct{}
+type ImmediateScheduler struct {
+	tasksRun atomic.Int64
+}
 
 // NewImmediateScheduler creates the inline scheduler.
 func NewImmediateScheduler() *ImmediateScheduler { return &ImmediateScheduler{} }
@@ -167,10 +185,15 @@ func (s *ImmediateScheduler) runWithPredecessors(t *Task) {
 // WorkerCount implements Scheduler.
 func (s *ImmediateScheduler) WorkerCount() int { return 1 }
 
+// Stats implements Scheduler.
+func (s *ImmediateScheduler) Stats() Stats { return Stats{TasksRun: s.tasksRun.Load()} }
+
 // Shutdown implements Scheduler.
 func (s *ImmediateScheduler) Shutdown() {}
 
 func (s *ImmediateScheduler) enqueueReady(t *Task) { t.run() }
+
+func (s *ImmediateScheduler) noteTaskRun() { s.tasksRun.Add(1) }
 
 // --- node-queue scheduler -------------------------------------------------------
 
@@ -182,11 +205,12 @@ const stealBackoff = 200 * time.Microsecond
 // NodeQueueScheduler runs one worker goroutine per (virtual) core, grouped
 // into per-node task queues with work stealing across nodes.
 type NodeQueueScheduler struct {
-	queues  []*taskQueue
-	workers int
-	wg      sync.WaitGroup
-	closed  atomic.Bool
-	rr      atomic.Uint64 // round-robin for unpinned tasks
+	queues   []*taskQueue
+	workers  int
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	rr       atomic.Uint64 // round-robin for unpinned tasks
+	tasksRun atomic.Int64
 }
 
 type taskQueue struct {
@@ -309,6 +333,19 @@ func (s *NodeQueueScheduler) tryRunOne() bool {
 
 // WorkerCount implements Scheduler.
 func (s *NodeQueueScheduler) WorkerCount() int { return s.workers }
+
+// Stats implements Scheduler.
+func (s *NodeQueueScheduler) Stats() Stats {
+	var depth int64
+	for _, q := range s.queues {
+		q.mu.Lock()
+		depth += int64(len(q.tasks))
+		q.mu.Unlock()
+	}
+	return Stats{TasksRun: s.tasksRun.Load(), QueueDepth: depth}
+}
+
+func (s *NodeQueueScheduler) noteTaskRun() { s.tasksRun.Add(1) }
 
 // NodeCount returns the number of queues.
 func (s *NodeQueueScheduler) NodeCount() int { return len(s.queues) }

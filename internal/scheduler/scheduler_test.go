@@ -210,3 +210,32 @@ func TestManyTasksStress(t *testing.T) {
 		t.Errorf("count = %d, want %d", count.Load(), n)
 	}
 }
+
+func TestStatsCountTasks(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Scheduler
+	}{
+		{"immediate", NewImmediateScheduler()},
+		{"nodequeue", NewNodeQueueScheduler(2, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer tc.s.Shutdown()
+			if got := tc.s.Stats(); got.TasksRun != 0 || got.QueueDepth != 0 {
+				t.Fatalf("fresh scheduler stats = %+v", got)
+			}
+			tasks := make([]*Task, 10)
+			for i := range tasks {
+				tasks[i] = NewTask(func() {})
+			}
+			tc.s.Schedule(tasks...)
+			WaitAll(tasks)
+			if got := tc.s.Stats().TasksRun; got != 10 {
+				t.Fatalf("TasksRun = %d, want 10", got)
+			}
+			if got := tc.s.Stats().QueueDepth; got != 0 {
+				t.Fatalf("QueueDepth after drain = %d, want 0", got)
+			}
+		})
+	}
+}

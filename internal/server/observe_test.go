@@ -1,0 +1,121 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hyrise/internal/pipeline"
+)
+
+// syncBuffer is a goroutine-safe log sink for slow-query log assertions.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func startObservedServer(t *testing.T) (string, *Server, *pipeline.Engine) {
+	t.Helper()
+	e := pipeline.NewEngine(pipeline.DefaultConfig(), nil)
+	t.Cleanup(e.Close)
+	srv := New(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(srv.Close)
+	return addr, srv, e
+}
+
+func TestMetaMetricsOverWire(t *testing.T) {
+	addr, _, _ := startObservedServer(t)
+	c := dial(t, addr)
+
+	read := func() int64 {
+		res := c.simpleQuery(t, "SELECT value FROM meta_metrics WHERE name = 'statements_executed'")
+		if res.err != "" {
+			t.Fatalf("meta_metrics query: %s", res.err)
+		}
+		if len(res.rows) != 1 {
+			t.Fatalf("meta_metrics rows = %v", res.rows)
+		}
+		v, err := strconv.ParseInt(res.rows[0][0], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	first := read()
+	second := read()
+	if second <= first {
+		t.Fatalf("statements_executed did not advance between wire queries: %d -> %d", first, second)
+	}
+}
+
+func TestConnectionMetrics(t *testing.T) {
+	addr, _, e := startObservedServer(t)
+	c := dial(t, addr)
+	c.simpleQuery(t, "SELECT 1")
+
+	total, ok := e.Metrics().Get("server_connections_total")
+	if !ok || total < 1 {
+		t.Fatalf("server_connections_total = %d, %v", total, ok)
+	}
+	active, _ := e.Metrics().Get("server_connections_active")
+	if active < 1 {
+		t.Fatalf("server_connections_active = %d, want >= 1", active)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	addr, srv, e := startObservedServer(t)
+	var buf syncBuffer
+	srv.EnableSlowQueryLog(&buf, time.Nanosecond) // everything is slow
+
+	c := dial(t, addr)
+	res := c.simpleQuery(t, "SELECT 41 + 1")
+	if res.err != "" {
+		t.Fatal(res.err)
+	}
+	// The log write happens before ReadyForQuery is sent, so it is visible
+	// once simpleQuery returns.
+	logged := buf.String()
+	if !strings.Contains(logged, "slow query:") ||
+		!strings.Contains(logged, "rows=1") ||
+		!strings.Contains(logged, "SELECT 41 + 1") ||
+		!strings.Contains(logged, "duration=") {
+		t.Fatalf("slow log = %q", logged)
+	}
+	if v, _ := e.Metrics().Get("server_slow_queries"); v != 1 {
+		t.Fatalf("server_slow_queries = %d, want 1", v)
+	}
+}
+
+func TestSlowQueryLogThreshold(t *testing.T) {
+	addr, srv, _ := startObservedServer(t)
+	var buf syncBuffer
+	srv.EnableSlowQueryLog(&buf, time.Hour) // nothing is slow
+
+	c := dial(t, addr)
+	if res := c.simpleQuery(t, "SELECT 1"); res.err != "" {
+		t.Fatal(res.err)
+	}
+	if got := buf.String(); got != "" {
+		t.Fatalf("slow log should be empty, got %q", got)
+	}
+}

@@ -15,10 +15,16 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
+	"hyrise/internal/observe"
 	"hyrise/internal/pipeline"
 	"hyrise/internal/types"
 )
+
+// DefaultSlowQueryThreshold is used when the slow-query log is enabled with
+// a zero threshold.
+const DefaultSlowQueryThreshold = 250 * time.Millisecond
 
 // Server accepts PostgreSQL wire protocol connections.
 type Server struct {
@@ -29,11 +35,53 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+
+	// Slow-query log (opt-in): statements slower than slowThreshold are
+	// written to slowW. slowMu serializes writes from connection goroutines.
+	slowMu        sync.Mutex
+	slowW         io.Writer
+	slowThreshold time.Duration
+
+	connsTotal  *observe.Counter
+	connsActive *observe.Gauge
+	slowQueries *observe.Counter
 }
 
 // New creates a server over an engine.
 func New(engine *pipeline.Engine) *Server {
-	return &Server{engine: engine, conns: make(map[net.Conn]struct{})}
+	r := engine.Metrics()
+	return &Server{
+		engine:      engine,
+		conns:       make(map[net.Conn]struct{}),
+		connsTotal:  r.Counter("server_connections_total"),
+		connsActive: r.Gauge("server_connections_active"),
+		slowQueries: r.Counter("server_slow_queries"),
+	}
+}
+
+// EnableSlowQueryLog logs every statement slower than threshold to w
+// (duration, row count, SQL). A zero threshold selects
+// DefaultSlowQueryThreshold; a nil writer disables the log.
+func (s *Server) EnableSlowQueryLog(w io.Writer, threshold time.Duration) {
+	if threshold <= 0 {
+		threshold = DefaultSlowQueryThreshold
+	}
+	s.slowMu.Lock()
+	s.slowW = w
+	s.slowThreshold = threshold
+	s.slowMu.Unlock()
+}
+
+// noteQuery checks one executed statement against the slow-query log.
+func (s *Server) noteQuery(sql string, d time.Duration, rows int) {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	if s.slowW == nil || d < s.slowThreshold {
+		return
+	}
+	s.slowQueries.Inc()
+	fmt.Fprintf(s.slowW, "slow query: duration=%v rows=%d sql=%s\n",
+		d, rows, strings.TrimSpace(sql))
 }
 
 // Listen binds the address (e.g. "127.0.0.1:5432") and returns the actual
@@ -71,6 +119,8 @@ func (s *Server) Serve() error {
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.connsTotal.Inc()
+		s.connsActive.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -78,6 +128,7 @@ func (s *Server) Serve() error {
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
+			s.connsActive.Dec()
 		}()
 	}
 }
@@ -231,10 +282,16 @@ func (s *Server) simpleQuery(w *wire, session *pipeline.Session, sql string) {
 		w.writeReady(session)
 		return
 	}
+	start := time.Now()
 	results, err := session.Execute(sql)
+	rows := 0
 	for _, res := range results {
+		if res.Table != nil {
+			rows += res.Table.RowCount()
+		}
 		w.writeResult(res)
 	}
+	s.noteQuery(sql, time.Since(start), rows)
 	if err != nil {
 		w.writeError(err.Error())
 	}
@@ -247,11 +304,17 @@ func (s *Server) executePortal(w *wire, session *pipeline.Session, p boundPortal
 	for i, raw := range p.params {
 		vals[i] = inferParam(raw)
 	}
+	start := time.Now()
 	res, err := session.ExecuteWithParams(p.sql, vals)
 	if err != nil {
 		w.writeError(err.Error())
 		return
 	}
+	rows := 0
+	if res.Table != nil {
+		rows = res.Table.RowCount()
+	}
+	s.noteQuery(p.sql, time.Since(start), rows)
 	w.writeResult(res)
 }
 

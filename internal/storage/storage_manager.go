@@ -11,12 +11,19 @@ import (
 	"hyrise/internal/types"
 )
 
+// MetaTableProvider materializes a virtual system table on demand. Each
+// call produces a fresh snapshot, so successive queries over a meta-table
+// observe advancing telemetry (real Hyrise exposes its internals the same
+// way, as meta_* tables).
+type MetaTableProvider func() (*Table, error)
+
 // StorageManager is the central catalog of named tables and views
 // (paper Figure 1: "Storage Manager"). It is safe for concurrent use.
 type StorageManager struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	views  map[string]string // view name -> SQL text (embedded at planning time)
+	meta   map[string]MetaTableProvider
 }
 
 // NewStorageManager creates an empty catalog.
@@ -24,10 +31,12 @@ func NewStorageManager() *StorageManager {
 	return &StorageManager{
 		tables: make(map[string]*Table),
 		views:  make(map[string]string),
+		meta:   make(map[string]MetaTableProvider),
 	}
 }
 
-// AddTable registers a table under its name. Re-registering a name fails.
+// AddTable registers a table under its name. Re-registering a name fails,
+// as does shadowing a meta-table.
 func (sm *StorageManager) AddTable(t *Table) error {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
@@ -38,19 +47,50 @@ func (sm *StorageManager) AddTable(t *Table) error {
 	if _, ok := sm.tables[key]; ok {
 		return fmt.Errorf("storage: table %q already exists", t.Name())
 	}
+	if _, ok := sm.meta[key]; ok {
+		return fmt.Errorf("storage: %q is a reserved meta-table name", t.Name())
+	}
 	sm.tables[key] = t
 	return nil
 }
 
-// GetTable looks a table up by name (case-insensitive).
+// GetTable looks a table up by name (case-insensitive). Meta-table names
+// resolve to a freshly materialized snapshot; base tables shadow them.
 func (sm *StorageManager) GetTable(name string) (*Table, error) {
+	key := strings.ToLower(name)
 	sm.mu.RLock()
-	defer sm.mu.RUnlock()
-	t, ok := sm.tables[strings.ToLower(name)]
-	if !ok {
-		return nil, fmt.Errorf("storage: no table named %q", name)
+	t, ok := sm.tables[key]
+	provider := sm.meta[key]
+	sm.mu.RUnlock()
+	if ok {
+		return t, nil
 	}
-	return t, nil
+	if provider != nil {
+		// Materialized outside the catalog lock: providers read other
+		// locked subsystems (tables, scheduler, metrics registry).
+		return provider()
+	}
+	return nil, fmt.Errorf("storage: no table named %q", name)
+}
+
+// RegisterMetaTable installs a virtual system table under the given name
+// (conventionally prefixed "meta_"). Re-registering replaces the provider.
+func (sm *StorageManager) RegisterMetaTable(name string, p MetaTableProvider) {
+	sm.mu.Lock()
+	sm.meta[strings.ToLower(name)] = p
+	sm.mu.Unlock()
+}
+
+// MetaTableNames returns the sorted names of the registered meta-tables.
+func (sm *StorageManager) MetaTableNames() []string {
+	sm.mu.RLock()
+	names := make([]string, 0, len(sm.meta))
+	for name := range sm.meta {
+		names = append(names, name)
+	}
+	sm.mu.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // HasTable reports whether a table with the name exists.
