@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -31,7 +32,11 @@ import (
 )
 
 func main() {
+	stmtTimeout := flag.Duration("statement-timeout", 0, "cancel statements running longer than this (0 = no timeout)")
+	flag.Parse()
+
 	cfg := pipeline.DefaultConfig()
+	cfg.StatementTimeout = *stmtTimeout
 	engine := pipeline.NewEngine(cfg, nil)
 	defer engine.Close()
 	session := engine.NewSession()

@@ -17,18 +17,21 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:5433", "listen address")
-		tpchSF    = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = none)")
-		scheduler = flag.Bool("scheduler", false, "enable the node-queue scheduler")
-		debugAddr = flag.String("debug-addr", "", "serve pprof and /metrics on this address (empty = disabled)")
-		slowLog   = flag.Bool("slow-log", false, "log slow queries to stderr")
-		slowThr   = flag.Duration("slow-threshold", server.DefaultSlowQueryThreshold, "slow-query log threshold")
+		addr        = flag.String("addr", "127.0.0.1:5433", "listen address")
+		tpchSF      = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = none)")
+		scheduler   = flag.Bool("scheduler", false, "enable the node-queue scheduler")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof and /metrics on this address (empty = disabled)")
+		slowLog     = flag.Bool("slow-log", false, "log slow queries to stderr")
+		slowThr     = flag.Duration("slow-threshold", server.DefaultSlowQueryThreshold, "slow-query log threshold")
+		stmtTimeout = flag.Duration("statement-timeout", 0, "cancel statements running longer than this (0 = no timeout)")
+		maxConns    = flag.Int("max-connections", 0, "refuse connections beyond this many concurrent sessions with SQLSTATE 53300 (0 = unlimited)")
 	)
 	flag.Parse()
 
 	cfg := pipeline.DefaultConfig()
 	cfg.UseScheduler = *scheduler
 	cfg.DebugAddr = *debugAddr
+	cfg.StatementTimeout = *stmtTimeout
 	engine := pipeline.NewEngine(cfg, nil)
 	defer engine.Close()
 	if d := engine.DebugAddr(); d != "" {
@@ -50,6 +53,9 @@ func main() {
 	srv := server.New(engine)
 	if *slowLog {
 		srv.EnableSlowQueryLog(os.Stderr, *slowThr)
+	}
+	if *maxConns > 0 {
+		srv.SetMaxConnections(*maxConns)
 	}
 	actual, err := srv.Listen(*addr)
 	if err != nil {

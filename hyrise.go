@@ -19,6 +19,7 @@
 package hyrise
 
 import (
+	"context"
 	"io"
 
 	"hyrise/internal/benchmark"
@@ -78,6 +79,19 @@ func (db *Database) Execute(sql string) (*Result, error) {
 // Query is Execute with a friendlier name for reads.
 func (db *Database) Query(sql string) (*Result, error) {
 	return db.session.ExecuteOne(sql)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: canceling ctx (or
+// hitting Config.StatementTimeout) stops the statement at the next chunk
+// boundary, rolls its transaction back, and returns an error wrapping
+// context.Canceled or context.DeadlineExceeded.
+func (db *Database) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
+	return db.session.ExecuteOneContext(ctx, sql)
+}
+
+// QueryContext is Query with cooperative cancellation (see ExecuteContext).
+func (db *Database) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return db.session.ExecuteOneContext(ctx, sql)
 }
 
 // Rows renders a result as strings (convenience for examples and tools).

@@ -101,6 +101,7 @@ type TransactionContext struct {
 	mu            sync.Mutex
 	inserts       []rowRef
 	invalidations []rowRef
+	abortCause    error
 }
 
 // TID returns the transaction id.
@@ -186,12 +187,19 @@ func (tc *TransactionContext) Commit() error {
 
 // Rollback undoes all registered changes: inserted rows are hidden forever,
 // claimed rows are released.
-func (tc *TransactionContext) Rollback() {
+func (tc *TransactionContext) Rollback() { tc.RollbackWithCause(nil) }
+
+// RollbackWithCause is Rollback with a recorded abort reason — the pipeline
+// passes the statement error (conflict, cancellation, timeout) so
+// observability and tests can distinguish why a transaction died. Only the
+// first rollback's cause sticks; later calls are no-ops.
+func (tc *TransactionContext) RollbackWithCause(cause error) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if tc.phase != Active {
 		return
 	}
+	tc.abortCause = cause
 	for _, r := range tc.inserts {
 		mvcc := r.chunk.MvccData()
 		mvcc.SetEnd(r.row, 0) // begin stays MaxCommitID: never visible
@@ -202,6 +210,14 @@ func (tc *TransactionContext) Rollback() {
 	}
 	tc.phase = RolledBack
 	tc.tm.aborted.Add(1)
+}
+
+// AbortCause returns the error recorded at rollback (nil for explicit
+// client-issued ROLLBACK or while the transaction is live).
+func (tc *TransactionContext) AbortCause() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.abortCause
 }
 
 // Visible reports whether a row version is visible to the transaction

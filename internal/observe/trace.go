@@ -44,6 +44,9 @@ type Trace struct {
 	SQL string
 	// CacheHit reports whether the physical plan came from the plan cache.
 	CacheHit bool
+	// Canceled reports that the traced statement was stopped before
+	// completion — by a client cancel request or a statement timeout.
+	Canceled bool
 
 	mu     sync.Mutex
 	stages []StageSpan

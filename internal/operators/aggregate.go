@@ -82,6 +82,9 @@ func (op *Aggregate) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 		}
 	}
 	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	groups := make(map[string]*group)
 	var order []string // deterministic output order (first appearance)

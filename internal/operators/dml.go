@@ -57,6 +57,9 @@ func (op *Insert) Run(ctx *ExecContext, _ []*storage.Table) (*storage.Table, err
 	ctx.installSubqueryExecutors(ec)
 	inserted := 0
 	for _, row := range op.Rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(op.Columns) != 0 && len(row) != len(op.Columns) {
 			return nil, fmt.Errorf("operators: insert row has %d values, column list has %d", len(row), len(op.Columns))
 		}
@@ -122,7 +125,14 @@ func (op *Delete) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range refs {
+	for i, r := range refs {
+		// Canceled deletes stop between rows; invalidations claimed so far
+		// are released when the pipeline rolls the transaction back.
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := ctx.Tx.TryInvalidate(r.chunk, r.offset); err != nil {
 			return nil, err
 		}
@@ -183,6 +193,11 @@ func (op *Update) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 		n := c.Size()
 		if n == 0 {
 			continue
+		}
+		// Canceled updates stop between chunks; the partial invalidate+insert
+		// pairs roll back with the transaction, so no torn update commits.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		ec := ctx.evalContext(input, c, n)
 		newVals := make([]*expression.Vector, len(op.SetExprs))

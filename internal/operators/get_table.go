@@ -136,5 +136,8 @@ func (op *Validate) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Tab
 		}
 	}
 	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return buildReferenceTable(input, rowsPerChunk, nil), nil
 }

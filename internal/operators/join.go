@@ -230,6 +230,9 @@ func evalKeysOverTable(ctx *ExecContext, t *storage.Table, keys []expression.Exp
 		}
 	}
 	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	total := t.RowCount()
 	vals := make([][]types.Value, 0, total)

@@ -7,6 +7,7 @@
 package operators
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -34,6 +35,10 @@ type Operator interface {
 // ExecContext carries the per-execution state: the transaction, the
 // scheduler, and the subquery result cache.
 type ExecContext struct {
+	// Ctx carries the statement's cancellation signal (client cancel or
+	// statement timeout). Operators check it at chunk granularity; nil means
+	// "never canceled".
+	Ctx context.Context
 	// Tx is the active transaction; nil when MVCC is disabled.
 	Tx *concurrency.TransactionContext
 	// Scheduler runs operator tasks and intra-operator jobs; nil means
@@ -67,6 +72,16 @@ func NewExecContext(sm *storage.StorageManager, sched scheduler.Scheduler, tx *c
 	return &ExecContext{SM: sm, Scheduler: sched, Tx: tx}
 }
 
+// Err returns the statement context's cancellation cause (context.Canceled
+// or context.DeadlineExceeded), or nil while execution may proceed.
+// Operators call this between chunk-granular units of work.
+func (ctx *ExecContext) Err() error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Err()
+}
+
 // child derives a context for a subquery invocation with bound parameters.
 // The subquery cache is shared so nested invocations memoize globally per
 // execution. Metrics propagate (subquery scans count globally); the trace
@@ -74,6 +89,7 @@ func NewExecContext(sm *storage.StorageManager, sched scheduler.Scheduler, tx *c
 // subquery expression, keeping the annotated plan tree-shaped.
 func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 	return &ExecContext{
+		Ctx:           ctx.Ctx,
 		Tx:            ctx.Tx,
 		Scheduler:     ctx.Scheduler,
 		SM:            ctx.SM,
@@ -84,15 +100,21 @@ func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 }
 
 // runJobs executes the closures, in parallel when a multi-worker scheduler
-// is available.
+// is available. Jobs not yet started when the statement context dies are
+// skipped — this is the chunk-granularity cancellation point of every
+// parallel operator (scan, join, aggregate, projection); callers must check
+// ctx.Err() after runJobs returns and surface it.
 func (ctx *ExecContext) runJobs(jobs []func()) {
 	if ctx.Scheduler == nil || ctx.Scheduler.WorkerCount() <= 1 {
 		for _, j := range jobs {
+			if ctx.Err() != nil {
+				return
+			}
 			j()
 		}
 		return
 	}
-	scheduler.RunJobs(ctx.Scheduler, jobs)
+	scheduler.RunJobsContext(ctx.Ctx, ctx.Scheduler, jobs)
 }
 
 // Execute runs a physical plan: every operator becomes a task whose
@@ -142,6 +164,18 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 				mu.Unlock()
 				return
 			}
+			// Cooperative cancellation: a dead statement context stops the
+			// plan before this operator starts. The cause (context.Canceled
+			// or DeadlineExceeded) propagates like an operator failure.
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
+				failed[op] = true
+				if rootErr == nil {
+					rootErr, rootErrDepth, rootErrOrder = err, opDepth, opOrder
+				}
+				mu.Unlock()
+				return
+			}
 			var t0 time.Time
 			if ctx.Trace != nil {
 				t0 = time.Now()
@@ -173,6 +207,9 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 			}
 			mu.Unlock()
 		}).Named(op.Name())
+		if ctx.Ctx != nil {
+			t.WithContext(ctx.Ctx)
+		}
 		taskOf[op] = t
 		for _, in := range inputs {
 			t.DependsOn(build(in, depth+1))
@@ -193,6 +230,14 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 	defer mu.Unlock()
 	if rootErr != nil {
 		return nil, rootErr
+	}
+	// Tasks skipped by the scheduler (context died while queued) record no
+	// error of their own; report the cancellation cause instead of an empty
+	// result.
+	if results[root] == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return results[root], nil
 }

@@ -96,6 +96,9 @@ func (op *Projection) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.T
 		}
 	}
 	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -58,6 +58,12 @@ func (op *Sort) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, 
 		if n == 0 {
 			continue
 		}
+		// Key materialization honors cancellation at chunk granularity; the
+		// in-memory sort below is not interruptible but operates on already
+		// materialized keys only.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ec := ctx.evalContext(input, c, n)
 		for ki, k := range op.Keys {
 			v, err := expression.Evaluate(k.Expr, ec)

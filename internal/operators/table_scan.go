@@ -70,6 +70,9 @@ func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 		}
 	}
 	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -455,6 +458,9 @@ func (op *IndexScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 		}
 	}
 	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return buildReferenceTable(input, rowsPerChunk, nil), nil
 }
 

@@ -6,6 +6,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -59,6 +61,12 @@ type Config struct {
 	DynamicAccess bool
 	// HistogramType selects the statistics histogram flavor.
 	HistogramType statistics.HistogramType
+	// StatementTimeout bounds the execution of every planned statement
+	// (SELECT/INSERT/UPDATE/DELETE): statements running longer are canceled
+	// cooperatively and fail with context.DeadlineExceeded. 0 disables the
+	// timeout. Explicit per-call contexts (ExecuteContext) compose with it —
+	// whichever deadline fires first wins.
+	StatementTimeout time.Duration
 	// DebugAddr, when non-empty, serves a diagnostics HTTP endpoint on the
 	// address: net/http/pprof plus a JSON dump of the metrics registry at
 	// /metrics (port 0 picks a free port; see Engine.DebugAddr).
@@ -104,6 +112,8 @@ type Engine struct {
 type engineMetrics struct {
 	statements *observe.Counter
 	errors     *observe.Counter
+	canceled   *observe.Counter
+	timedOut   *observe.Counter
 	queryUS    *observe.Histogram
 	exec       *observe.ExecMetrics
 }
@@ -145,6 +155,8 @@ func (e *Engine) initObservability() {
 	e.metrics = &engineMetrics{
 		statements: r.Counter("statements_executed"),
 		errors:     r.Counter("statement_errors"),
+		canceled:   r.Counter("engine.statements.canceled"),
+		timedOut:   r.Counter("engine.statements.timed_out"),
 		queryUS:    r.Histogram("query_duration_us"),
 		exec:       observe.NewExecMetrics(r),
 	}
@@ -264,6 +276,16 @@ func (s *Session) InTransaction() bool { return s.tx != nil }
 // Execute runs all statements in the SQL string and returns one result per
 // statement.
 func (s *Session) Execute(sql string) ([]*Result, error) {
+	return s.ExecuteContext(context.Background(), sql)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: when ctx is
+// canceled (client disconnect, wire-protocol CancelRequest) or the engine's
+// StatementTimeout fires, the in-flight statement stops at the next chunk
+// boundary, its transaction rolls back, and the error wraps
+// context.Canceled or context.DeadlineExceeded. Statements already
+// completed keep their results.
+func (s *Session) ExecuteContext(ctx context.Context, sql string) ([]*Result, error) {
 	start := time.Now()
 	stmts, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -272,7 +294,7 @@ func (s *Session) Execute(sql string) ([]*Result, error) {
 	parseTime := time.Since(start)
 	results := make([]*Result, 0, len(stmts))
 	for _, stmt := range stmts {
-		res, err := s.executeStatement(stmt, sql, len(stmts) == 1)
+		res, err := s.executeStatement(ctx, stmt, sql, len(stmts) == 1)
 		if err != nil {
 			return results, err
 		}
@@ -284,14 +306,19 @@ func (s *Session) Execute(sql string) ([]*Result, error) {
 
 // ExecuteOne runs a single-statement SQL string.
 func (s *Session) ExecuteOne(sql string) (*Result, error) {
-	results, err := s.Execute(sql)
+	return s.ExecuteOneContext(context.Background(), sql)
+}
+
+// ExecuteOneContext is ExecuteOne with cooperative cancellation.
+func (s *Session) ExecuteOneContext(ctx context.Context, sql string) (*Result, error) {
+	results, err := s.ExecuteContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
 	return results[len(results)-1], nil
 }
 
-func (s *Session) executeStatement(stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
+func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparser.TransactionStatement:
 		return s.executeTransactionStatement(st)
@@ -322,7 +349,7 @@ func (s *Session) executeStatement(stmt sqlparser.Statement, sqlText string, cac
 		}
 		return &Result{Tag: "DROP TABLE"}, nil
 	default:
-		return s.runPlanned(stmt, sqlText, cacheable)
+		return s.runPlanned(ctx, stmt, sqlText, cacheable)
 	}
 }
 
@@ -380,22 +407,45 @@ func tagOf(stmt sqlparser.Statement) string {
 }
 
 // runPlanned executes SELECT/INSERT/UPDATE/DELETE through the planning
-// pipeline, using the plan cache for repeated SELECTs. It updates the
-// engine metrics and, when a trace sink is installed, records and delivers
-// a per-execution trace.
-func (s *Session) runPlanned(stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
+// pipeline, using the plan cache for repeated SELECTs. It creates the
+// per-statement context (applying the engine's StatementTimeout on top of
+// the caller's context), updates the engine metrics — including the
+// cancellation counters — and, when a trace sink is installed, records and
+// delivers a per-execution trace.
+func (s *Session) runPlanned(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
 	engine := s.engine
 	m := engine.metrics
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d := engine.cfg.StatementTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	var trace *observe.Trace
 	sink := engine.traceSink.Load()
 	if sink != nil {
 		trace = observe.NewTrace(strings.TrimSpace(sqlText))
 	}
 	start := time.Now()
-	res, err := s.execPlanned(stmt, sqlText, cacheable, trace)
+	res, err := s.execPlanned(ctx, stmt, sqlText, cacheable, trace)
 	m.statements.Inc()
 	if err != nil {
 		m.errors.Inc()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			m.timedOut.Inc()
+			err = fmt.Errorf("canceling statement due to statement timeout: %w", err)
+		case errors.Is(err, context.Canceled):
+			m.canceled.Inc()
+			err = fmt.Errorf("canceling statement due to user request: %w", err)
+		}
+		if trace != nil {
+			trace.Canceled = errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+			trace.SetTotal(time.Since(start))
+			(*sink)(trace)
+		}
 		return nil, err
 	}
 	m.queryUS.Observe(time.Since(start).Microseconds())
@@ -409,7 +459,7 @@ func (s *Session) runPlanned(stmt sqlparser.Statement, sqlText string, cacheable
 }
 
 // execPlanned resolves the physical plan (cache or fresh build) and runs it.
-func (s *Session) execPlanned(stmt sqlparser.Statement, sqlText string, cacheable bool, trace *observe.Trace) (*Result, error) {
+func (s *Session) execPlanned(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool, trace *observe.Trace) (*Result, error) {
 	engine := s.engine
 	isDML := isDMLStatement(stmt)
 	timing := Timing{}
@@ -433,12 +483,12 @@ func (s *Session) execPlanned(stmt sqlparser.Statement, sqlText string, cacheabl
 			engine.planCache.Put(key, plan)
 		}
 	}
-	return s.executePlan(plan, stmt, &timing, trace)
+	return s.executePlan(ctx, plan, stmt, &timing, trace)
 }
 
 // executePlan runs an already-built physical plan under the session's
 // transaction (explicit when open, auto-commit otherwise).
-func (s *Session) executePlan(plan *cachedPlan, stmt sqlparser.Statement, timing *Timing, trace *observe.Trace) (*Result, error) {
+func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlparser.Statement, timing *Timing, trace *observe.Trace) (*Result, error) {
 	engine := s.engine
 	tx := s.tx
 	autoCommit := false
@@ -448,20 +498,24 @@ func (s *Session) executePlan(plan *cachedPlan, stmt sqlparser.Statement, timing
 	}
 
 	execStart := time.Now()
-	ctx := operators.NewExecContext(engine.sm, engine.sched, tx)
-	ctx.DynamicAccess = engine.cfg.DynamicAccess
-	ctx.Trace = trace
-	ctx.Metrics = engine.metrics.exec
-	out, err := operators.Execute(plan.root, ctx)
+	ectx := operators.NewExecContext(engine.sm, engine.sched, tx)
+	ectx.Ctx = ctx
+	ectx.DynamicAccess = engine.cfg.DynamicAccess
+	ectx.Trace = trace
+	ectx.Metrics = engine.metrics.exec
+	out, err := operators.Execute(plan.root, ectx)
 	timing.Execute = time.Since(execStart)
 	if err != nil {
+		// The owning transaction aborts on any failure — including
+		// cancellation and timeout — so partial DML (MVCC invalidations and
+		// inserts) rolls back cleanly and claims are released.
 		if autoCommit {
-			tx.Rollback()
+			tx.RollbackWithCause(err)
 		} else if tx != nil {
 			// Explicit transactions become invalid after conflicts; the
 			// client must roll back, matching the usual DBMS contract. We
 			// roll back eagerly to release claims.
-			tx.Rollback()
+			tx.RollbackWithCause(err)
 			s.tx = nil
 		}
 		return nil, err
@@ -591,7 +645,7 @@ func (s *Session) Explain(sql string) (*ExplainResult, error) {
 		return nil, err
 	}
 	trace := observe.NewTrace(strings.TrimSpace(sql))
-	res, err := s.executePlan(plan, stmt, &timing, trace)
+	res, err := s.executePlan(context.Background(), plan, stmt, &timing, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -646,13 +700,20 @@ func (s *Session) ExecutePrepared(name string, params []types.Value) (*Result, e
 	if err := lqp.BindParameters(stmt, params); err != nil {
 		return nil, err
 	}
-	return s.runPlanned(stmt, "", false)
+	return s.runPlanned(context.Background(), stmt, "", false)
 }
 
 // ExecuteWithParams parses the SQL, substitutes the '?' placeholders with
 // the given values, and executes — a one-shot prepared statement (used by
 // the wire protocol's extended query flow).
 func (s *Session) ExecuteWithParams(sql string, params []types.Value) (*Result, error) {
+	return s.ExecuteWithParamsContext(context.Background(), sql, params)
+}
+
+// ExecuteWithParamsContext is ExecuteWithParams with cooperative
+// cancellation (the wire server threads the connection's statement context
+// through here for the extended query flow).
+func (s *Session) ExecuteWithParamsContext(ctx context.Context, sql string, params []types.Value) (*Result, error) {
 	stmt, err := sqlparser.ParseOne(sql)
 	if err != nil {
 		return nil, err
@@ -660,7 +721,7 @@ func (s *Session) ExecuteWithParams(sql string, params []types.Value) (*Result, 
 	if err := lqp.BindParameters(stmt, params); err != nil {
 		return nil, err
 	}
-	return s.runPlanned(stmt, "", false)
+	return s.runPlanned(ctx, stmt, "", false)
 }
 
 // RowStrings renders a result table as printable rows (boundary helper for

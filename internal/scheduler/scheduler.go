@@ -9,6 +9,7 @@
 package scheduler
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ type Task struct {
 	fn            func()
 	name          string
 	preferredNode int
+	ctx           context.Context // nil = never canceled
 
 	pending      atomic.Int32 // unfinished predecessors
 	mu           sync.Mutex
@@ -41,6 +43,13 @@ func NewTask(fn func()) *Task {
 
 // Named sets a diagnostic name and returns the task.
 func (t *Task) Named(name string) *Task { t.name = name; return t }
+
+// WithContext attaches a cancellation context and returns the task. A task
+// whose context is dead by the time a worker picks it up is skipped: its
+// closure never runs, but the task still completes (successors unblock,
+// waiters wake) so cancellation can never deadlock a task DAG. Must be set
+// before the task is scheduled.
+func (t *Task) WithContext(ctx context.Context) *Task { t.ctx = ctx; return t }
 
 // Name returns the diagnostic name.
 func (t *Task) Name() string { return t.name }
@@ -87,16 +96,24 @@ func (t *Task) Wait() {
 	<-t.done
 }
 
-// run executes the task exactly once and notifies successors.
+// run executes the task exactly once and notifies successors. Tasks whose
+// context is dead are skipped, not executed: the closure never runs, but
+// completion still propagates so dependent tasks and waiters make progress.
 func (t *Task) run() {
 	if !t.started.CompareAndSwap(false, true) {
 		return
 	}
-	if t.fn != nil {
-		t.fn()
-	}
-	if t.sched != nil {
-		t.sched.noteTaskRun()
+	if t.ctx != nil && t.ctx.Err() != nil {
+		if t.sched != nil {
+			t.sched.noteTaskSkipped()
+		}
+	} else {
+		if t.fn != nil {
+			t.fn()
+		}
+		if t.sched != nil {
+			t.sched.noteTaskRun()
+		}
 	}
 	t.finished.Store(true)
 	close(t.done)
@@ -119,6 +136,9 @@ func (t *Task) run() {
 type Stats struct {
 	// TasksRun counts tasks executed since the scheduler was created.
 	TasksRun int64
+	// TasksSkipped counts tasks whose context was dead when a worker picked
+	// them up; their closures never ran.
+	TasksSkipped int64
 	// QueueDepth is the number of tasks currently waiting in queues
 	// (always 0 for immediate execution).
 	QueueDepth int64
@@ -138,6 +158,7 @@ type Scheduler interface {
 
 	enqueueReady(t *Task)
 	noteTaskRun()
+	noteTaskSkipped()
 }
 
 // WaitAll waits for all given tasks.
@@ -154,7 +175,8 @@ func WaitAll(tasks []*Task) {
 // "when schedule is called on a task, it is either directly executed or,
 // if it has predecessors, their predecessors are executed first").
 type ImmediateScheduler struct {
-	tasksRun atomic.Int64
+	tasksRun     atomic.Int64
+	tasksSkipped atomic.Int64
 }
 
 // NewImmediateScheduler creates the inline scheduler.
@@ -186,7 +208,9 @@ func (s *ImmediateScheduler) runWithPredecessors(t *Task) {
 func (s *ImmediateScheduler) WorkerCount() int { return 1 }
 
 // Stats implements Scheduler.
-func (s *ImmediateScheduler) Stats() Stats { return Stats{TasksRun: s.tasksRun.Load()} }
+func (s *ImmediateScheduler) Stats() Stats {
+	return Stats{TasksRun: s.tasksRun.Load(), TasksSkipped: s.tasksSkipped.Load()}
+}
 
 // Shutdown implements Scheduler.
 func (s *ImmediateScheduler) Shutdown() {}
@@ -194,6 +218,8 @@ func (s *ImmediateScheduler) Shutdown() {}
 func (s *ImmediateScheduler) enqueueReady(t *Task) { t.run() }
 
 func (s *ImmediateScheduler) noteTaskRun() { s.tasksRun.Add(1) }
+
+func (s *ImmediateScheduler) noteTaskSkipped() { s.tasksSkipped.Add(1) }
 
 // --- node-queue scheduler -------------------------------------------------------
 
@@ -205,12 +231,18 @@ const stealBackoff = 200 * time.Microsecond
 // NodeQueueScheduler runs one worker goroutine per (virtual) core, grouped
 // into per-node task queues with work stealing across nodes.
 type NodeQueueScheduler struct {
-	queues   []*taskQueue
-	workers  int
-	wg       sync.WaitGroup
-	closed   atomic.Bool
-	rr       atomic.Uint64 // round-robin for unpinned tasks
-	tasksRun atomic.Int64
+	queues       []*taskQueue
+	workers      int
+	wg           sync.WaitGroup
+	closed       atomic.Bool
+	rr           atomic.Uint64 // round-robin for unpinned tasks
+	tasksRun     atomic.Int64
+	tasksSkipped atomic.Int64
+	// queueDepth mirrors the summed queue lengths as a single atomic so
+	// Stats never takes the queue locks; incremented before push, decremented
+	// after a successful pop/steal, so it can transiently over-report but
+	// never goes negative.
+	queueDepth atomic.Int64
 }
 
 type taskQueue struct {
@@ -275,6 +307,7 @@ func (s *NodeQueueScheduler) workerLoop(node int) {
 	defer s.wg.Done()
 	for {
 		if t := s.queues[node].pop(); t != nil {
+			s.queueDepth.Add(-1)
 			t.run()
 			continue
 		}
@@ -284,6 +317,7 @@ func (s *NodeQueueScheduler) workerLoop(node int) {
 		for i := 1; i < len(s.queues); i++ {
 			other := (node + i) % len(s.queues)
 			if t := s.queues[other].steal(); t != nil {
+				s.queueDepth.Add(-1)
 				t.run()
 				stolen = true
 				break
@@ -316,6 +350,7 @@ func (s *NodeQueueScheduler) enqueueReady(t *Task) {
 	if node < 0 || node >= len(s.queues) {
 		node = int(s.rr.Add(1)) % len(s.queues)
 	}
+	s.queueDepth.Add(1)
 	s.queues[node].push(t)
 }
 
@@ -324,6 +359,7 @@ func (s *NodeQueueScheduler) enqueueReady(t *Task) {
 func (s *NodeQueueScheduler) tryRunOne() bool {
 	for _, q := range s.queues {
 		if t := q.pop(); t != nil {
+			s.queueDepth.Add(-1)
 			t.run()
 			return true
 		}
@@ -336,16 +372,16 @@ func (s *NodeQueueScheduler) WorkerCount() int { return s.workers }
 
 // Stats implements Scheduler.
 func (s *NodeQueueScheduler) Stats() Stats {
-	var depth int64
-	for _, q := range s.queues {
-		q.mu.Lock()
-		depth += int64(len(q.tasks))
-		q.mu.Unlock()
+	return Stats{
+		TasksRun:     s.tasksRun.Load(),
+		TasksSkipped: s.tasksSkipped.Load(),
+		QueueDepth:   s.queueDepth.Load(),
 	}
-	return Stats{TasksRun: s.tasksRun.Load(), QueueDepth: depth}
 }
 
 func (s *NodeQueueScheduler) noteTaskRun() { s.tasksRun.Add(1) }
+
+func (s *NodeQueueScheduler) noteTaskSkipped() { s.tasksSkipped.Add(1) }
 
 // NodeCount returns the number of queues.
 func (s *NodeQueueScheduler) NodeCount() int { return len(s.queues) }
@@ -361,16 +397,28 @@ func (s *NodeQueueScheduler) Shutdown() {
 // spawn subtasks, which are then enqueued in the scheduling queue and
 // executed in parallel").
 func RunJobs(s Scheduler, jobs []func()) {
+	RunJobsContext(nil, s, jobs)
+}
+
+// RunJobsContext is RunJobs with cooperative cancellation: jobs not yet
+// started when ctx dies are skipped (the call still waits for in-flight jobs
+// to finish, so no job runs after return). A nil ctx never cancels.
+func RunJobsContext(ctx context.Context, s Scheduler, jobs []func()) {
 	if len(jobs) == 0 {
 		return
 	}
 	if len(jobs) == 1 {
-		jobs[0]()
+		if ctx == nil || ctx.Err() == nil {
+			jobs[0]()
+		}
 		return
 	}
 	tasks := make([]*Task, len(jobs))
 	for i, job := range jobs {
 		tasks[i] = NewTask(job)
+		if ctx != nil {
+			tasks[i].WithContext(ctx)
+		}
 	}
 	s.Schedule(tasks...)
 	WaitAll(tasks)

@@ -8,6 +8,8 @@ package server
 
 import (
 	"bufio"
+	"context"
+	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -35,6 +37,15 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	maxConns int // admission limit on concurrent sessions (0 = unlimited)
+	sessions int // sessions currently admitted
+
+	// backends maps the pid issued in BackendKeyData to the connection's
+	// cancel state, so a CancelRequest arriving on a fresh connection can be
+	// routed to the victim session.
+	backendMu sync.Mutex
+	backends  map[uint32]*backend
+	nextPid   uint32
 
 	// Slow-query log (opt-in): statements slower than slowThreshold are
 	// written to slowW. slowMu serializes writes from connection goroutines.
@@ -42,21 +53,68 @@ type Server struct {
 	slowW         io.Writer
 	slowThreshold time.Duration
 
-	connsTotal  *observe.Counter
-	connsActive *observe.Gauge
-	slowQueries *observe.Counter
+	connsTotal     *observe.Counter
+	connsActive    *observe.Gauge
+	connsRejected  *observe.Counter
+	cancelRequests *observe.Counter
+	slowQueries    *observe.Counter
+}
+
+// backend is the cancellation state of one admitted connection: the
+// (pid, secret) pair sent as BackendKeyData, and — while a statement runs —
+// the cancel function of that statement's context.
+type backend struct {
+	pid    uint32
+	secret uint32
+
+	mu     sync.Mutex
+	cancel context.CancelFunc // non-nil only while a statement is in flight
+}
+
+// setCancel installs the in-flight statement's cancel function.
+func (b *backend) setCancel(fn context.CancelFunc) {
+	b.mu.Lock()
+	b.cancel = fn
+	b.mu.Unlock()
+}
+
+// fire invokes the in-flight statement's cancel function, if any. Firing
+// between statements is a harmless no-op, matching PostgreSQL ("the
+// cancellation signal may arrive too late to have any effect").
+func (b *backend) fire() {
+	b.mu.Lock()
+	fn := b.cancel
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // New creates a server over an engine.
 func New(engine *pipeline.Engine) *Server {
 	r := engine.Metrics()
 	return &Server{
-		engine:      engine,
-		conns:       make(map[net.Conn]struct{}),
-		connsTotal:  r.Counter("server_connections_total"),
-		connsActive: r.Gauge("server_connections_active"),
-		slowQueries: r.Counter("server_slow_queries"),
+		engine:         engine,
+		conns:          make(map[net.Conn]struct{}),
+		backends:       make(map[uint32]*backend),
+		connsTotal:     r.Counter("server_connections_total"),
+		connsActive:    r.Gauge("server_connections_active"),
+		connsRejected:  r.Counter("server_connections_rejected"),
+		cancelRequests: r.Counter("server_cancel_requests"),
+		slowQueries:    r.Counter("server_slow_queries"),
 	}
+}
+
+// SetMaxConnections caps the number of concurrently admitted sessions
+// (admission control). Connections beyond the cap are refused during
+// startup with SQLSTATE 53300 ("too many connections") instead of being
+// accepted and left to stall. 0 or negative disables the cap. CancelRequest
+// connections are exempt — they must get through precisely when the server
+// is saturated.
+func (s *Server) SetMaxConnections(n int) {
+	s.mu.Lock()
+	s.maxConns = n
+	s.mu.Unlock()
 }
 
 // EnableSlowQueryLog logs every statement slower than threshold to w
@@ -164,9 +222,36 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	w := &wire{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 
-	if err := s.startup(w); err != nil {
+	req, err := s.readStartup(w)
+	if err != nil {
 		return
 	}
+	if req.isCancel {
+		// A CancelRequest arrives on its own fresh connection carrying the
+		// victim's (pid, secret). Per the PostgreSQL protocol the server
+		// sends NO response on this connection — it processes the request
+		// and closes silently, whether or not the key matched.
+		s.cancelRequests.Inc()
+		s.cancelBackend(req.pid, req.secret)
+		return
+	}
+
+	// Admission control: refuse connections beyond the cap with a proper
+	// "53300 too_many_connections" error instead of accepting and stalling.
+	if !s.admit() {
+		s.connsRejected.Inc()
+		w.writeErrorCode(codeTooManyConnections, "sorry, too many clients already")
+		_ = w.w.Flush()
+		return
+	}
+	defer s.releaseSession()
+
+	b := s.registerBackend()
+	defer s.unregisterBackend(b.pid)
+	if err := s.finishStartup(w, b); err != nil {
+		return
+	}
+
 	session := s.engine.NewSession()
 	// Prepared statements of the extended protocol, per connection.
 	prepared := map[string]string{}
@@ -180,7 +265,7 @@ func (s *Server) handle(conn net.Conn) {
 		switch msgType {
 		case 'Q':
 			sql := cString(payload)
-			s.simpleQuery(w, session, sql)
+			s.simpleQuery(w, session, b, sql)
 		case 'P': // Parse
 			name, rest := splitCString(payload)
 			sql, _ := splitCString(rest)
@@ -208,7 +293,7 @@ func (s *Server) handle(conn net.Conn) {
 				w.writeError(fmt.Sprintf("unknown portal %q", portal))
 				break
 			}
-			s.executePortal(w, session, p)
+			s.executePortal(w, session, b, p)
 		case 'S': // Sync
 			w.writeReady(session)
 		case 'H': // Flush
@@ -229,19 +314,29 @@ type boundPortal struct {
 	params []string
 }
 
-// startup negotiates the connection: reject SSL, accept protocol 3.
-func (s *Server) startup(w *wire) error {
+// startupRequest is the outcome of reading the startup phase: either a
+// protocol-3 session start or a cancel request with the victim's key.
+type startupRequest struct {
+	isCancel    bool
+	pid, secret uint32
+}
+
+// readStartup consumes the startup packet(s): SSL requests are refused,
+// CancelRequests are surfaced to the caller, and a protocol-3 startup
+// message completes normally. No response bytes are written here — the
+// caller decides between admission, refusal, and cancel processing.
+func (s *Server) readStartup(w *wire) (startupRequest, error) {
 	for {
 		length, err := w.readInt32()
 		if err != nil {
-			return err
+			return startupRequest{}, err
+		}
+		if length < 8 || length > 1<<20 {
+			return startupRequest{}, errors.New("bad startup packet length")
 		}
 		payload := make([]byte, length-4)
 		if _, err := io.ReadFull(w.r, payload); err != nil {
-			return err
-		}
-		if len(payload) < 4 {
-			return errors.New("short startup packet")
+			return startupRequest{}, err
 		}
 		code := int32(binary.BigEndian.Uint32(payload[:4]))
 		switch code {
@@ -249,41 +344,117 @@ func (s *Server) startup(w *wire) error {
 			// No SSL (paper: "we ... do not implement features such as user
 			// authentication or SSL").
 			if _, err := w.w.Write([]byte{'N'}); err != nil {
-				return err
+				return startupRequest{}, err
 			}
 			_ = w.w.Flush()
 			continue
 		case cancelRequestCode:
-			return errors.New("cancel not supported")
+			if len(payload) < 12 {
+				return startupRequest{}, errors.New("short cancel request")
+			}
+			return startupRequest{
+				isCancel: true,
+				pid:      binary.BigEndian.Uint32(payload[4:8]),
+				secret:   binary.BigEndian.Uint32(payload[8:12]),
+			}, nil
 		case startupVersion3:
-			// AuthenticationOk.
-			auth := make([]byte, 4)
-			w.writeMessage('R', auth)
-			w.writeParameterStatus("server_version", "13.0 (Hyrise-Go)")
-			w.writeParameterStatus("server_encoding", "UTF8")
-			w.writeParameterStatus("client_encoding", "UTF8")
-			// BackendKeyData (dummy).
-			key := make([]byte, 8)
-			binary.BigEndian.PutUint32(key[:4], 1)
-			binary.BigEndian.PutUint32(key[4:], 1)
-			w.writeMessage('K', key)
-			w.writeReadyIdle()
-			return w.w.Flush()
+			return startupRequest{}, nil
 		default:
-			return fmt.Errorf("unsupported protocol %d", code)
+			return startupRequest{}, fmt.Errorf("unsupported protocol %d", code)
 		}
 	}
 }
 
-func (s *Server) simpleQuery(w *wire, session *pipeline.Session, sql string) {
+// finishStartup sends the post-admission handshake: AuthenticationOk,
+// parameter status, the real BackendKeyData (pid + secret for cancellation),
+// and ReadyForQuery.
+func (s *Server) finishStartup(w *wire, b *backend) error {
+	auth := make([]byte, 4)
+	w.writeMessage('R', auth)
+	w.writeParameterStatus("server_version", "13.0 (Hyrise-Go)")
+	w.writeParameterStatus("server_encoding", "UTF8")
+	w.writeParameterStatus("client_encoding", "UTF8")
+	key := make([]byte, 8)
+	binary.BigEndian.PutUint32(key[:4], b.pid)
+	binary.BigEndian.PutUint32(key[4:], b.secret)
+	w.writeMessage('K', key)
+	w.writeReadyIdle()
+	return w.w.Flush()
+}
+
+// admit reserves a session slot; false means the server is full.
+func (s *Server) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxConns > 0 && s.sessions >= s.maxConns {
+		return false
+	}
+	s.sessions++
+	return true
+}
+
+// releaseSession returns an admitted session's slot.
+func (s *Server) releaseSession() {
+	s.mu.Lock()
+	s.sessions--
+	s.mu.Unlock()
+}
+
+// registerBackend issues a fresh (pid, secret) pair and registers it for
+// cancellation routing.
+func (s *Server) registerBackend() *backend {
+	var buf [4]byte
+	_, _ = rand.Read(buf[:])
+	s.backendMu.Lock()
+	s.nextPid++
+	b := &backend{pid: s.nextPid, secret: binary.BigEndian.Uint32(buf[:])}
+	s.backends[b.pid] = b
+	s.backendMu.Unlock()
+	return b
+}
+
+// unregisterBackend drops a closed connection's cancellation state.
+func (s *Server) unregisterBackend(pid uint32) {
+	s.backendMu.Lock()
+	delete(s.backends, pid)
+	s.backendMu.Unlock()
+}
+
+// cancelBackend routes a CancelRequest to the victim session. Unknown pids
+// and wrong secrets are ignored without feedback, per the protocol.
+func (s *Server) cancelBackend(pid, secret uint32) {
+	s.backendMu.Lock()
+	b := s.backends[pid]
+	s.backendMu.Unlock()
+	if b == nil || b.secret != secret {
+		return
+	}
+	b.fire()
+}
+
+// statementContext opens the cancellation window for one statement: the
+// returned context dies when a matching CancelRequest arrives; done() closes
+// the window (late cancels become no-ops) and releases the context.
+func statementContext(b *backend) (ctx context.Context, done func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b.setCancel(cancel)
+	return ctx, func() {
+		b.setCancel(nil)
+		cancel()
+	}
+}
+
+func (s *Server) simpleQuery(w *wire, session *pipeline.Session, b *backend, sql string) {
 	trimmed := strings.TrimSpace(sql)
 	if trimmed == "" || trimmed == ";" {
 		w.writeMessage('I', nil) // EmptyQueryResponse
 		w.writeReady(session)
 		return
 	}
+	ctx, done := statementContext(b)
 	start := time.Now()
-	results, err := session.Execute(sql)
+	results, err := session.ExecuteContext(ctx, sql)
+	done()
 	rows := 0
 	for _, res := range results {
 		if res.Table != nil {
@@ -293,21 +464,23 @@ func (s *Server) simpleQuery(w *wire, session *pipeline.Session, sql string) {
 	}
 	s.noteQuery(sql, time.Since(start), rows)
 	if err != nil {
-		w.writeError(err.Error())
+		w.writeErrorCode(sqlStateFor(err), err.Error())
 	}
 	w.writeReady(session)
 }
 
-func (s *Server) executePortal(w *wire, session *pipeline.Session, p boundPortal) {
+func (s *Server) executePortal(w *wire, session *pipeline.Session, b *backend, p boundPortal) {
 	// Bind text parameters positionally (one-shot prepared execution).
 	vals := make([]types.Value, len(p.params))
 	for i, raw := range p.params {
 		vals[i] = inferParam(raw)
 	}
+	ctx, done := statementContext(b)
 	start := time.Now()
-	res, err := session.ExecuteWithParams(p.sql, vals)
+	res, err := session.ExecuteWithParamsContext(ctx, p.sql, vals)
+	done()
 	if err != nil {
-		w.writeError(err.Error())
+		w.writeErrorCode(sqlStateFor(err), err.Error())
 		return
 	}
 	rows := 0
@@ -383,15 +556,36 @@ func (w *wire) writeReady(session *pipeline.Session) {
 	_ = w.w.Flush()
 }
 
+// PostgreSQL SQLSTATE codes the server emits.
+const (
+	codeInternalError      = "XX000" // internal_error (generic)
+	codeQueryCanceled      = "57014" // query_canceled (cancel + statement timeout)
+	codeTooManyConnections = "53300" // too_many_connections (admission control)
+)
+
+// sqlStateFor maps a statement error to its SQLSTATE: canceled and
+// timed-out statements report 57014 query_canceled (what psql expects after
+// a ctrl-C), everything else the generic internal error.
+func sqlStateFor(err error) string {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return codeQueryCanceled
+	}
+	return codeInternalError
+}
+
 func (w *wire) writeError(msg string) {
+	w.writeErrorCode(codeInternalError, msg)
+}
+
+func (w *wire) writeErrorCode(code, msg string) {
 	var payload []byte
-	add := func(code byte, text string) {
-		payload = append(payload, code)
+	add := func(field byte, text string) {
+		payload = append(payload, field)
 		payload = append(payload, []byte(text)...)
 		payload = append(payload, 0)
 	}
 	add('S', "ERROR")
-	add('C', "XX000")
+	add('C', code)
 	add('M', msg)
 	payload = append(payload, 0)
 	w.writeMessage('E', payload)

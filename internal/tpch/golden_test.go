@@ -1,0 +1,89 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+
+	"hyrise/internal/pipeline"
+)
+
+// Golden-result validation for TPC-H Q1, Q3, and Q6 at the test scale
+// factor. The generator is seeded (Seed 42 in generateEngine), the default
+// config executes operators single-threaded, and chunk traversal order is
+// fixed, so every run must reproduce these rows bit-for-bit — including the
+// float aggregates. If an engine change breaks plan correctness (wrong
+// predicate push-down, broken aggregate grouping, bad join semantics), these
+// fail loudly instead of TestAllQueriesRun's run-without-error smoke check.
+//
+// Captured from a verified run at testSF = 0.002, chunk size 1000. If a
+// deliberate semantic change invalidates them, re-capture by printing
+// pipeline.RowStrings for each query at the same config.
+var goldenResults = []struct {
+	query   int
+	columns []string
+	rows    [][]string
+}{
+	{
+		query: 1,
+		columns: []string{
+			"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+			"sum_disc_price", "sum_charge", "avg_qty", "avg_price",
+			"avg_disc", "count_order",
+		},
+		rows: [][]string{
+			{"A", "F", "80223", "8.825802862000002e+06", "8.37236893801e+06", "8.715144071433498e+06", "25.76204238921002", "2834.233417469493", "0.05106936416184965", "3114"},
+			{"N", "F", "2572", "288411.781", "272258.56036", "283154.2743001", "24.97087378640777", "2800.114378640777", "0.05116504854368933", "103"},
+			{"N", "O", "142147", "1.5626006465000002e+07", "1.4837024209119998e+07", "1.5416617712809704e+07", "25.356225472707813", "2787.371827506244", "0.050342490189083086", "5606"},
+			{"R", "F", "80078", "8.85012822e+06", "8.401024008650001e+06", "8.738207771982899e+06", "25.682488774855678", "2838.3990442591407", "0.05077613855035273", "3118"},
+		},
+	},
+	{
+		query:   3,
+		columns: []string{"l_orderkey", "revenue", "o_orderdate", "o_shippriority"},
+		rows: [][]string{
+			{"2351", "22920.248420000004", "1995-03-07", "0"},
+			{"796", "18290.20552", "1995-02-01", "0"},
+			{"1106", "13861.62272", "1995-01-20", "0"},
+			{"1087", "12339.29996", "1995-02-15", "0"},
+			{"886", "11630.170579999998", "1995-01-20", "0"},
+			{"447", "11158.29502", "1995-02-24", "0"},
+			{"607", "10725.05447", "1995-01-24", "0"},
+			{"324", "9258.00662", "1995-01-03", "0"},
+			{"474", "7693.9437", "1995-02-07", "0"},
+			{"2572", "6812.40336", "1994-12-05", "0"},
+		},
+	},
+	{
+		query:   6,
+		columns: []string{"revenue"},
+		rows: [][]string{
+			{"19515.4014"},
+		},
+	},
+}
+
+func TestGoldenResults(t *testing.T) {
+	e := generateEngine(t, pipeline.DefaultConfig(), 1000)
+	s := e.NewSession()
+	queries := Queries(testSF)
+	for _, g := range goldenResults {
+		res, err := s.ExecuteOne(queries[g.query])
+		if err != nil {
+			t.Errorf("Q%d: %v", g.query, err)
+			continue
+		}
+		if !reflect.DeepEqual(res.Columns, g.columns) {
+			t.Errorf("Q%d columns = %v, want %v", g.query, res.Columns, g.columns)
+		}
+		rows := pipeline.RowStrings(res.Table)
+		if len(rows) != len(g.rows) {
+			t.Errorf("Q%d: %d rows, want %d", g.query, len(rows), len(g.rows))
+			continue
+		}
+		for i := range rows {
+			if !reflect.DeepEqual(rows[i], g.rows[i]) {
+				t.Errorf("Q%d row %d = %v, want %v", g.query, i, rows[i], g.rows[i])
+			}
+		}
+	}
+}
