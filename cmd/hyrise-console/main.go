@@ -33,11 +33,19 @@ import (
 
 func main() {
 	stmtTimeout := flag.Duration("statement-timeout", 0, "cancel statements running longer than this (0 = no timeout)")
+	dataDir := flag.String("data-dir", "", "durable data directory: restore snapshot+WAL on boot, log commits (empty = in-memory)")
+	syncMode := flag.String("sync", "commit", "WAL sync mode: commit, batch, off")
 	flag.Parse()
 
 	cfg := pipeline.DefaultConfig()
 	cfg.StatementTimeout = *stmtTimeout
-	engine := pipeline.NewEngine(cfg, nil)
+	cfg.DataDir = *dataDir
+	cfg.SyncMode = *syncMode
+	engine, err := pipeline.NewEngineErr(cfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 	defer engine.Close()
 	session := engine.NewSession()
 	plugins := plugin.NewManager(engine)

@@ -25,6 +25,9 @@ func main() {
 		slowThr     = flag.Duration("slow-threshold", server.DefaultSlowQueryThreshold, "slow-query log threshold")
 		stmtTimeout = flag.Duration("statement-timeout", 0, "cancel statements running longer than this (0 = no timeout)")
 		maxConns    = flag.Int("max-connections", 0, "refuse connections beyond this many concurrent sessions with SQLSTATE 53300 (0 = unlimited)")
+		dataDir     = flag.String("data-dir", "", "durable data directory: restore snapshot+WAL on boot, log commits (empty = in-memory)")
+		syncMode    = flag.String("sync", "commit", "WAL sync mode: commit (fsync per commit group), batch (background fsync), off")
+		snapEvery   = flag.Duration("snapshot-interval", 0, "checkpoint snapshots at this cadence, truncating the WAL (0 = only on demand)")
 	)
 	flag.Parse()
 
@@ -32,8 +35,18 @@ func main() {
 	cfg.UseScheduler = *scheduler
 	cfg.DebugAddr = *debugAddr
 	cfg.StatementTimeout = *stmtTimeout
-	engine := pipeline.NewEngine(cfg, nil)
+	cfg.DataDir = *dataDir
+	cfg.SyncMode = *syncMode
+	cfg.SnapshotInterval = *snapEvery
+	engine, err := pipeline.NewEngineErr(cfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 	defer engine.Close()
+	if cfg.DataDir != "" {
+		fmt.Fprintf(os.Stderr, "durable mode: data-dir=%s sync=%s\n", cfg.DataDir, cfg.SyncMode)
+	}
 	if d := engine.DebugAddr(); d != "" {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (pprof + /metrics)\n", d)
 	}
@@ -47,6 +60,14 @@ func main() {
 		if err := tpch.EncodeAndFilter(engine.StorageManager(), tpch.DefaultEncoding()); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
+		}
+		// Bulk loads bypass the WAL; checkpoint so the generated data is in
+		// the snapshot and survives restarts.
+		if engine.Durable() {
+			if err := engine.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
 		}
 	}
 

@@ -54,15 +54,34 @@ type Database struct {
 	plugins *plugin.Manager
 }
 
-// Open creates a database with the given configuration.
+// Open creates a database with the given configuration. It panics when
+// Config.DataDir is set but recovery fails; use OpenErr to handle that.
 func Open(cfg Config) *Database {
-	engine := pipeline.NewEngine(cfg, nil)
+	db, err := OpenErr(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// OpenErr creates a database with the given configuration. With
+// Config.DataDir set, the latest snapshot is restored and the write-ahead
+// log replayed before OpenErr returns.
+func OpenErr(cfg Config) (*Database, error) {
+	engine, err := pipeline.NewEngineErr(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
 	return &Database{
 		engine:  engine,
 		session: engine.NewSession(),
 		plugins: plugin.NewManager(engine),
-	}
+	}, nil
 }
+
+// Checkpoint snapshots all tables and views to Config.DataDir and truncates
+// the write-ahead log. It fails on in-memory databases.
+func (db *Database) Checkpoint() error { return db.engine.Checkpoint() }
 
 // Close shuts down the scheduler and unloads all plugins.
 func (db *Database) Close() {

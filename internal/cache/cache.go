@@ -82,12 +82,14 @@ func (c *LRU[K, V]) Len() int {
 	return c.ll.Len()
 }
 
-// Clear drops all entries.
+// Clear drops all entries and resets the hit/miss counters, so statistics
+// read after a Clear describe only the new cache generation.
 func (c *LRU[K, V]) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll = list.New()
 	c.items = make(map[K]*list.Element)
+	c.hits, c.misses = 0, 0
 }
 
 // Stats returns hit/miss counters.

@@ -68,8 +68,16 @@ func TestLRUStatsAndClear(t *testing.T) {
 	if c.Len() != 0 {
 		t.Error("Clear failed")
 	}
+	// Clear starts a fresh statistics generation: the counters reset, and
+	// only accesses after the Clear are counted.
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("stats after Clear = %d/%d, want 0/0", hits, misses)
+	}
 	if _, ok := c.Get("a"); ok {
 		t.Error("cleared entry still present")
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Errorf("stats after post-Clear miss = %d/%d, want 0/1", hits, misses)
 	}
 }
 

@@ -44,18 +44,119 @@ func (p Phase) String() string {
 	}
 }
 
+// RedoKind tags a logged write operation.
+type RedoKind uint8
+
+// Redo operation kinds. Updates are logged as delete + insert pairs,
+// matching their insert-only MVCC implementation.
+const (
+	RedoInsert RedoKind = iota + 1
+	RedoDelete
+)
+
+// RedoOp is one logical write of a transaction, captured for the
+// write-ahead log. Inserts carry the physical RowID the row was placed at
+// so replay reproduces chunk geometry exactly (delete records reference
+// rows by RowID).
+type RedoOp struct {
+	Kind   RedoKind
+	Table  string
+	Row    types.RowID
+	Values []types.Value // RedoInsert only
+}
+
+// DurabilityHook is the seam between the transaction manager and the
+// write-ahead log. AppendCommit is called inside the commit critical
+// section, in commit-id order, with the transaction's redo operations; the
+// hook must buffer the batch atomically. It returns a wait function that
+// blocks until the commit record is durable (nil when the commit may be
+// acknowledged immediately, e.g. relaxed sync modes). An error aborts the
+// commit before any row version is stamped.
+type DurabilityHook interface {
+	AppendCommit(tid types.TransactionID, cid types.CommitID, ops []RedoOp) (wait func() error, err error)
+}
+
 // TransactionManager hands out transaction ids and serializes commit-id
 // assignment.
 type TransactionManager struct {
 	nextTID atomic.Uint64
 	lastCID atomic.Uint64
 	// commitMu serializes the commit critical section: assign the commit
-	// id, stamp all row versions, then publish the new last commit id.
-	// Readers that start mid-commit still see the previous snapshot.
+	// id, append the commit to the log, stamp all row versions, then
+	// publish the new last commit id. Readers that start mid-commit still
+	// see the previous snapshot.
 	commitMu sync.Mutex
+	// nextCID is the highest commit id ever assigned (guarded by commitMu).
+	// It runs ahead of lastCID while commits await durability: their rows
+	// are stamped but not yet visible to new snapshots.
+	nextCID uint64
+
+	hook atomic.Pointer[DurabilityHook]
 
 	committed atomic.Int64
 	aborted   atomic.Int64
+}
+
+// SetDurabilityHook installs (or, with nil, removes) the write-ahead-log
+// hook. It must be called before transactions start writing.
+func (tm *TransactionManager) SetDurabilityHook(h DurabilityHook) {
+	if h == nil {
+		tm.hook.Store(nil)
+		return
+	}
+	tm.hook.Store(&h)
+}
+
+// LoggingEnabled reports whether a durability hook is installed (operators
+// use it to skip redo collection entirely when running in-memory only).
+func (tm *TransactionManager) LoggingEnabled() bool { return tm.hook.Load() != nil }
+
+func (tm *TransactionManager) durabilityHook() DurabilityHook {
+	p := tm.hook.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// PublishCommitID raises the published last commit id to cid (monotonic;
+// late smaller publishes are no-ops). The write-ahead log calls this after
+// a deferred-sync commit becomes durable.
+func (tm *TransactionManager) PublishCommitID(cid types.CommitID) {
+	for {
+		cur := tm.lastCID.Load()
+		if uint64(cid) <= cur || tm.lastCID.CompareAndSwap(cur, uint64(cid)) {
+			return
+		}
+	}
+}
+
+// RecoverState fast-forwards the commit-id and transaction-id counters
+// after log replay, before the engine accepts transactions.
+func (tm *TransactionManager) RecoverState(lastCID types.CommitID, lastTID types.TransactionID) {
+	tm.commitMu.Lock()
+	if uint64(lastCID) > tm.nextCID {
+		tm.nextCID = uint64(lastCID)
+	}
+	tm.commitMu.Unlock()
+	tm.PublishCommitID(lastCID)
+	for {
+		cur := tm.nextTID.Load()
+		if uint64(lastTID) <= cur || tm.nextTID.CompareAndSwap(cur, uint64(lastTID)) {
+			return
+		}
+	}
+}
+
+// CommitBarrier runs fn while holding the commit critical section: no
+// commit can stamp rows or append to the log while fn runs. fn receives
+// the highest commit id assigned so far (every such commit has fully
+// stamped its rows and appended its log record). The persistence layer
+// uses it to take a consistent snapshot cut at a commit boundary.
+func (tm *TransactionManager) CommitBarrier(fn func(highestCID types.CommitID)) {
+	tm.commitMu.Lock()
+	defer tm.commitMu.Unlock()
+	fn(types.CommitID(tm.nextCID))
 }
 
 // Stats reports lifetime transaction counts (started, committed, aborted).
@@ -101,6 +202,7 @@ type TransactionContext struct {
 	mu            sync.Mutex
 	inserts       []rowRef
 	invalidations []rowRef
+	redo          []RedoOp
 	abortCause    error
 }
 
@@ -158,16 +260,63 @@ func (tc *TransactionContext) TryInvalidate(chunk *storage.Chunk, row types.Chun
 	return nil
 }
 
+// LogInsert records a redo entry for a freshly appended row, carrying its
+// physical placement and values for the write-ahead log. No-op unless a
+// durability hook is installed.
+func (tc *TransactionContext) LogInsert(table string, row types.RowID, vals []types.Value) {
+	if !tc.tm.LoggingEnabled() {
+		return
+	}
+	tc.mu.Lock()
+	tc.redo = append(tc.redo, RedoOp{Kind: RedoInsert, Table: table, Row: row, Values: vals})
+	tc.mu.Unlock()
+}
+
+// LogDelete records a redo entry for an invalidated row. No-op unless a
+// durability hook is installed.
+func (tc *TransactionContext) LogDelete(table string, row types.RowID) {
+	if !tc.tm.LoggingEnabled() {
+		return
+	}
+	tc.mu.Lock()
+	tc.redo = append(tc.redo, RedoOp{Kind: RedoDelete, Table: table, Row: row})
+	tc.mu.Unlock()
+}
+
 // Commit stamps all registered rows with a fresh commit id and publishes
-// it. After Commit the transaction is immutable.
+// it. With a durability hook installed, the commit record is appended to
+// the log before any row version is stamped, and — depending on the sync
+// mode — Commit blocks until the record is durable before returning. After
+// Commit the transaction is immutable.
 func (tc *TransactionContext) Commit() error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if tc.phase != Active {
 		return fmt.Errorf("concurrency: commit in phase %s", tc.phase)
 	}
-	tc.tm.commitMu.Lock()
-	cid := types.CommitID(tc.tm.lastCID.Load() + 1)
+	tm := tc.tm
+	// Read-only transactions change nothing: consume no commit id, log
+	// nothing.
+	if len(tc.inserts) == 0 && len(tc.invalidations) == 0 {
+		tc.phase = Committed
+		tm.committed.Add(1)
+		return nil
+	}
+	tm.commitMu.Lock()
+	cid := types.CommitID(tm.nextCID + 1)
+	var wait func() error
+	if hook := tm.durabilityHook(); hook != nil {
+		w, err := hook.AppendCommit(tc.tid, cid, tc.redo)
+		if err != nil {
+			// The log rejected the commit (e.g. disk failure): abort so row
+			// claims are released instead of dangling forever.
+			tm.commitMu.Unlock()
+			tc.rollbackLocked(err)
+			return fmt.Errorf("concurrency: write-ahead log append: %w", err)
+		}
+		wait = w
+	}
+	tm.nextCID = uint64(cid)
 	for _, r := range tc.inserts {
 		mvcc := r.chunk.MvccData()
 		mvcc.SetBegin(r.row, cid)
@@ -178,10 +327,20 @@ func (tc *TransactionContext) Commit() error {
 		mvcc.SetEnd(r.row, cid)
 		mvcc.ReleaseTID(r.row, tc.tid)
 	}
-	tc.tm.lastCID.Store(uint64(cid))
-	tc.tm.commitMu.Unlock()
+	if wait == nil {
+		// Immediately visible; otherwise the log publishes the commit id
+		// once the record is durable, keeping unsynced commits out of new
+		// snapshots.
+		tm.PublishCommitID(cid)
+	}
+	tm.commitMu.Unlock()
 	tc.phase = Committed
-	tc.tm.committed.Add(1)
+	tm.committed.Add(1)
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("concurrency: commit %d not durable: %w", cid, err)
+		}
+	}
 	return nil
 }
 
@@ -196,6 +355,11 @@ func (tc *TransactionContext) Rollback() { tc.RollbackWithCause(nil) }
 func (tc *TransactionContext) RollbackWithCause(cause error) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	tc.rollbackLocked(cause)
+}
+
+// rollbackLocked is RollbackWithCause with tc.mu already held.
+func (tc *TransactionContext) rollbackLocked(cause error) {
 	if tc.phase != Active {
 		return
 	}

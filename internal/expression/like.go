@@ -101,11 +101,14 @@ func likeGenericMatch(s, p string) bool {
 	starP, starS := -1, 0
 	for si < len(s) {
 		switch {
-		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
-			si++
-			pi++
+		// '%' must be checked before the literal comparison: when the text
+		// byte itself is '%', the literal case would otherwise consume the
+		// wildcard as a plain character (e.g. "%0" failed to match "%").
 		case pi < len(p) && p[pi] == '%':
 			starP, starS = pi, si
+			pi++
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
 			pi++
 		case starP >= 0:
 			starS++

@@ -90,6 +90,7 @@ func (op *Insert) Run(ctx *ExecContext, _ []*storage.Table) (*storage.Table, err
 			chunk := table.GetChunk(rid.Chunk)
 			if ctx.Tx != nil {
 				ctx.Tx.RegisterInsert(chunk, rid.Offset)
+				ctx.Tx.LogInsert(op.TableName, rid, vals)
 			} else {
 				concurrency.MarkRowCommitted(chunk, rid.Offset)
 			}
@@ -136,6 +137,7 @@ func (op *Delete) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 		if err := ctx.Tx.TryInvalidate(r.chunk, r.offset); err != nil {
 			return nil, err
 		}
+		ctx.Tx.LogDelete(op.TableName, r.rid)
 	}
 	return rowCountTable(len(refs)), nil
 }
@@ -222,11 +224,13 @@ func (op *Update) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 			if err := ctx.Tx.TryInvalidate(ref.chunk, ref.offset); err != nil {
 				return nil, err
 			}
+				ctx.Tx.LogDelete(op.TableName, ref.rid)
 			rid, err := table.AppendRow(vals)
 			if err != nil {
 				return nil, err
 			}
 			ctx.Tx.RegisterInsert(table.GetChunk(rid.Chunk), rid.Offset)
+				ctx.Tx.LogInsert(op.TableName, rid, vals)
 			updated++
 		}
 	}
@@ -236,6 +240,7 @@ func (op *Update) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 type baseRow struct {
 	chunk  *storage.Chunk
 	offset types.ChunkOffset
+	rid    types.RowID // position in the base table, for redo logging
 }
 
 // collectBaseRows resolves every row of a reference table to the base chunk
@@ -256,7 +261,7 @@ func collectBaseRows(t *storage.Table) ([]baseRow, error) {
 			if rid.IsNull() {
 				continue
 			}
-			out = append(out, baseRow{chunk: base.GetChunk(rid.Chunk), offset: rid.Offset})
+			out = append(out, baseRow{chunk: base.GetChunk(rid.Chunk), offset: rid.Offset, rid: rid})
 		}
 		_ = n
 	}

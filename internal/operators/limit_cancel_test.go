@@ -1,0 +1,37 @@
+package operators
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hyrise/internal/storage"
+)
+
+// TestLimitHonorsCancellation pins the chunk-granular cancellation contract
+// for Limit: with the statement context already canceled, Run must return
+// context.Canceled instead of materializing its position lists.
+func TestLimitHonorsCancellation(t *testing.T) {
+	sm := storage.NewStorageManager()
+	input := numbersTable(t, sm, 10, 100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	execCtx := NewExecContext(sm, nil, nil)
+	execCtx.Ctx = ctx
+
+	op := NewLimit(&GetTable{TableName: "numbers"}, 50)
+	if _, err := op.Run(execCtx, []*storage.Table{input}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Limit.Run under canceled context: err = %v, want context.Canceled", err)
+	}
+
+	// And with a live context the same plan still works.
+	execCtx.Ctx = context.Background()
+	out, err := op.Run(execCtx, []*storage.Table{input})
+	if err != nil {
+		t.Fatalf("Limit.Run: %v", err)
+	}
+	if got := out.RowCount(); got != 50 {
+		t.Fatalf("limit returned %d rows, want 50", got)
+	}
+}

@@ -145,6 +145,9 @@ func (op *Limit) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table,
 	remaining := op.N
 	var rowsPerChunk []types.PosList
 	for ci, c := range input.Chunks() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if remaining <= 0 {
 			break
 		}

@@ -1,0 +1,189 @@
+// Package persistence adds durability to the engine: a group-commit
+// write-ahead log (WAL) plus background snapshots that serialize chunks in
+// their encoded segment form and truncate the log up to the snapshot LSN.
+// On boot, the manager restores the latest snapshot and replays the log
+// suffix; recovery is crash-safe against torn and truncated tails — a bad
+// CRC ends replay at the last durable commit.
+package persistence
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hyrise/internal/types"
+)
+
+// writer accumulates the primitive encodings shared by WAL records and the
+// snapshot format.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) uvarint(v uint64)  { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) byte(b byte)       { w.buf = append(w.buf, b) }
+func (w *writer) bytes(b []byte)    { w.buf = append(w.buf, b...) }
+func (w *writer) varint(v int64)    { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) uint64le(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+func (w *writer) string_(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) value(v types.Value) error {
+	switch v.Type {
+	case types.TypeNull:
+		w.byte(0)
+	case types.TypeInt64:
+		w.byte(1)
+		w.varint(v.I)
+	case types.TypeFloat64:
+		w.byte(2)
+		w.uint64le(math.Float64bits(v.F))
+	case types.TypeString:
+		w.byte(3)
+		w.string_(v.S)
+	case types.TypeBool:
+		w.byte(4)
+		w.varint(v.I)
+	default:
+		return fmt.Errorf("persistence: cannot encode value of type %v", v.Type)
+	}
+	return nil
+}
+
+// bitmap writes bools as a length-prefixed bitmap.
+func (w *writer) bitmap(b []bool) {
+	w.uvarint(uint64(len(b)))
+	var cur byte
+	for i, v := range b {
+		if v {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			w.byte(cur)
+			cur = 0
+		}
+	}
+	if len(b)%8 != 0 {
+		w.byte(cur)
+	}
+}
+
+// reader consumes the primitive encodings with sticky error state, so
+// decoding corrupt input degrades to an error instead of a panic.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("persistence: corrupt record: %s", msg)
+	}
+}
+
+func (r *reader) byte_() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.fail("unexpected end of input")
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) uint64le() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail("short uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) string_() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail("string length exceeds input")
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *reader) value() types.Value {
+	switch tag := r.byte_(); tag {
+	case 0:
+		return types.NullValue
+	case 1:
+		return types.Int(r.varint())
+	case 2:
+		return types.Float(math.Float64frombits(r.uint64le()))
+	case 3:
+		return types.Str(r.string_())
+	case 4:
+		return types.Value{Type: types.TypeBool, I: r.varint()}
+	default:
+		if r.err == nil {
+			r.fail(fmt.Sprintf("unknown value tag %d", tag))
+		}
+		return types.NullValue
+	}
+}
+
+func (r *reader) bitmap() []bool {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	nBytes := (n + 7) / 8
+	if nBytes > uint64(len(r.buf)) {
+		r.fail("bitmap exceeds input")
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.buf[i/8]&(1<<(i%8)) != 0
+	}
+	r.buf = r.buf[nBytes:]
+	return out
+}

@@ -1,0 +1,315 @@
+package persistence
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hyrise/internal/concurrency"
+	"hyrise/internal/observe"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Options configures a persistence manager.
+type Options struct {
+	// Dir is the data directory (created if missing). It holds the WAL
+	// (wal.log) and the latest snapshot (snapshot.db).
+	Dir string
+	// Mode selects when commits reach stable storage (off/commit/batch).
+	Mode SyncMode
+	// SnapshotInterval, when > 0, checkpoints in the background at this
+	// cadence, truncating the WAL each time.
+	SnapshotInterval time.Duration
+	// BatchInterval is the fsync cadence for SyncBatch (default 5ms).
+	BatchInterval time.Duration
+	// Registry receives wal.* / snapshot.* / recovery.* metrics (may be nil).
+	Registry *observe.Registry
+}
+
+// Manager owns the durability machinery: it restores state on open, appends
+// commit batches to the WAL as transactions commit (it is the transaction
+// manager's DurabilityHook), and periodically checkpoints snapshots.
+type Manager struct {
+	opts Options
+	sm   *storage.StorageManager
+	tm   *concurrency.TransactionManager
+	wal  *WAL
+
+	// checkpointMu serializes Checkpoint calls (ticker vs. explicit).
+	checkpointMu sync.Mutex
+
+	walBytes      *observe.Counter
+	walSyncs      *observe.Counter
+	walAppends    *observe.Counter
+	snapshots     *observe.Counter
+	snapshotBytes *observe.Gauge
+	recoveryMs    *observe.Gauge
+
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Open restores the snapshot and WAL found in opts.Dir into sm/tm, then
+// opens the log for appending and installs the manager as the transaction
+// manager's durability hook. sm must not contain user tables yet.
+func Open(sm *storage.StorageManager, tm *concurrency.TransactionManager, opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("persistence: empty data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{opts: opts, sm: sm, tm: tm, stopc: make(chan struct{})}
+	if reg := opts.Registry; reg != nil {
+		m.walBytes = reg.Counter("wal.bytes")
+		m.walSyncs = reg.Counter("wal.syncs")
+		m.walAppends = reg.Counter("wal.appends")
+		m.snapshots = reg.Counter("snapshot.count")
+		m.snapshotBytes = reg.Gauge("snapshot.bytes")
+		m.recoveryMs = reg.Gauge("recovery.duration_ms")
+	}
+
+	start := time.Now()
+	snapLSN, snapCID, err := readSnapshot(filepath.Join(opts.Dir, SnapshotFileName), sm)
+	if err != nil {
+		return nil, err
+	}
+	maxCID, maxTID, err := m.replay(snapLSN)
+	if err != nil {
+		return nil, err
+	}
+	if snapCID > maxCID {
+		maxCID = snapCID
+	}
+	tm.RecoverState(maxCID, maxTID)
+	if m.recoveryMs != nil {
+		m.recoveryMs.Set(time.Since(start).Milliseconds())
+	}
+
+	wal, err := openWAL(filepath.Join(opts.Dir, WALFileName), opts.Mode, opts.BatchInterval, snapLSN, tm.PublishCommitID)
+	if err != nil {
+		return nil, err
+	}
+	if m.walBytes != nil {
+		wal.onAppend = func(n int) { m.walBytes.Add(int64(n)); m.walAppends.Inc() }
+		wal.onSync = func() { m.walSyncs.Inc() }
+	}
+	m.wal = wal
+	tm.SetDurabilityHook(m)
+
+	if opts.SnapshotInterval > 0 {
+		m.wg.Add(1)
+		go m.snapshotLoop(opts.SnapshotInterval)
+	}
+	return m, nil
+}
+
+// replay applies the WAL suffix past the snapshot cut. Insert and delete
+// records buffer until their transaction's commit record arrives (each
+// commit batch is appended atomically, so a torn tail never splits one);
+// DDL records apply immediately. It returns the highest commit and
+// transaction ids seen.
+func (m *Manager) replay(fromLSN int64) (maxCID types.CommitID, maxTID types.TransactionID, err error) {
+	var pending []*record
+	apply := func(rec *record) error {
+		if rec.tid > maxTID {
+			maxTID = rec.tid
+		}
+		switch rec.kind {
+		case recInsert, recDelete:
+			pending = append(pending, rec)
+			return nil
+		case recCommit:
+			if rec.cid > maxCID {
+				maxCID = rec.cid
+			}
+			ops := pending
+			pending = nil
+			for _, op := range ops {
+				if err := m.applyOp(op, rec.cid); err != nil {
+					return err
+				}
+			}
+			return nil
+		case recCreateTable:
+			if m.sm.HasTable(rec.table) {
+				return nil // checkpoint raced the DDL append: already in snapshot
+			}
+			return m.sm.AddTable(storage.NewTable(rec.table, rec.defs, rec.chunkSize, rec.useMvcc))
+		case recDropTable:
+			if !m.sm.HasTable(rec.table) {
+				return nil
+			}
+			return m.sm.DropTable(rec.table)
+		case recCreateView:
+			if _, ok := m.sm.GetView(rec.view); ok {
+				return nil
+			}
+			return m.sm.AddView(rec.view, rec.viewSQL)
+		case recDropView:
+			if _, ok := m.sm.GetView(rec.view); !ok {
+				return nil
+			}
+			return m.sm.DropView(rec.view)
+		default:
+			return fmt.Errorf("persistence: replay: unknown record kind %d", rec.kind)
+		}
+	}
+	if _, err := replayWAL(filepath.Join(m.opts.Dir, WALFileName), fromLSN, apply); err != nil {
+		return 0, 0, err
+	}
+	// Ops without a commit record cannot survive a torn tail (batches are
+	// atomic), but guard anyway: drop them.
+	return maxCID, maxTID, nil
+}
+
+// applyOp applies one committed redo operation during replay.
+func (m *Manager) applyOp(rec *record, cid types.CommitID) error {
+	t, err := m.sm.GetTable(rec.table)
+	if err != nil {
+		return fmt.Errorf("persistence: replay references %w", err)
+	}
+	switch rec.kind {
+	case recInsert:
+		if _, err := t.RestoreRowAt(rec.row, rec.values); err != nil {
+			return fmt.Errorf("persistence: replay insert into %q: %w", rec.table, err)
+		}
+		if mvcc := t.GetChunk(rec.row.Chunk).MvccData(); mvcc != nil {
+			mvcc.SetBegin(rec.row.Offset, cid)
+			mvcc.SetEnd(rec.row.Offset, types.MaxCommitID)
+		}
+	case recDelete:
+		if int(rec.row.Chunk) >= t.ChunkCount() {
+			return fmt.Errorf("persistence: replay delete from %q: chunk %d missing", rec.table, rec.row.Chunk)
+		}
+		chunk := t.GetChunk(rec.row.Chunk)
+		if int(rec.row.Offset) >= chunk.Size() {
+			return fmt.Errorf("persistence: replay delete from %q: row %d/%d missing", rec.table, rec.row.Chunk, rec.row.Offset)
+		}
+		if mvcc := chunk.MvccData(); mvcc != nil {
+			mvcc.SetEnd(rec.row.Offset, cid)
+		}
+	}
+	return nil
+}
+
+// AppendCommit implements concurrency.DurabilityHook: it encodes the
+// transaction's redo operations plus the commit record as one atomic framed
+// batch. Called inside the commit critical section, in commit-id order.
+func (m *Manager) AppendCommit(tid types.TransactionID, cid types.CommitID, ops []concurrency.RedoOp) (func() error, error) {
+	var batch []byte
+	for _, op := range ops {
+		w := &writer{}
+		if err := appendRedoOp(w, tid, op); err != nil {
+			return nil, err
+		}
+		batch = append(batch, frame(w.buf)...)
+	}
+	w := &writer{}
+	appendCommitRecord(w, tid, cid)
+	batch = append(batch, frame(w.buf)...)
+	return m.wal.AppendCommitBatch(batch, cid)
+}
+
+// appendDDL frames and appends a catalog-change record.
+func (m *Manager) appendDDL(w *writer) error {
+	return m.wal.AppendDDL(frame(w.buf))
+}
+
+// LogCreateTable durably records a CREATE TABLE.
+func (m *Manager) LogCreateTable(t *storage.Table) error {
+	w := &writer{}
+	appendCreateTableRecord(w, t)
+	return m.appendDDL(w)
+}
+
+// LogDropTable durably records a DROP TABLE.
+func (m *Manager) LogDropTable(name string) error {
+	w := &writer{}
+	appendDropTableRecord(w, name)
+	return m.appendDDL(w)
+}
+
+// LogCreateView durably records a CREATE VIEW.
+func (m *Manager) LogCreateView(name, sql string) error {
+	w := &writer{}
+	appendCreateViewRecord(w, name, sql)
+	return m.appendDDL(w)
+}
+
+// LogDropView durably records a DROP VIEW.
+func (m *Manager) LogDropView(name string) error {
+	w := &writer{}
+	appendDropViewRecord(w, name)
+	return m.appendDDL(w)
+}
+
+// Checkpoint takes a snapshot of the whole catalog and truncates the WAL up
+// to the snapshot's cut. The cut is taken at a commit barrier, so every
+// commit below the cut LSN is fully stamped; the WAL is fsynced before the
+// snapshot is installed so every commit whose stamps may have been captured
+// is durable and replayable.
+func (m *Manager) Checkpoint() error {
+	m.checkpointMu.Lock()
+	defer m.checkpointMu.Unlock()
+
+	var cutLSN int64
+	var cutCID types.CommitID
+	m.tm.CommitBarrier(func(highestCID types.CommitID) {
+		cutLSN = m.wal.EndLSN()
+		cutCID = highestCID
+	})
+
+	buf, err := encodeSnapshot(m.sm, cutLSN, cutCID)
+	if err != nil {
+		return err
+	}
+	if err := m.wal.Sync(); err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(m.opts.Dir, buf); err != nil {
+		return err
+	}
+	if err := m.wal.TruncateFront(cutLSN); err != nil {
+		return err
+	}
+	if m.snapshots != nil {
+		m.snapshots.Inc()
+		m.snapshotBytes.Set(int64(len(buf)))
+	}
+	return nil
+}
+
+// snapshotLoop checkpoints at a fixed cadence until Close.
+func (m *Manager) snapshotLoop(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			_ = m.Checkpoint()
+		}
+	}
+}
+
+// SyncModeName returns the configured sync mode (for meta-tables).
+func (m *Manager) SyncModeName() string { return m.opts.Mode.String() }
+
+// Dir returns the data directory.
+func (m *Manager) Dir() string { return m.opts.Dir }
+
+// Close detaches the durability hook, stops background work, and closes the
+// WAL (flushing and fsyncing it). The engine must have stopped accepting
+// transactions first.
+func (m *Manager) Close() error {
+	m.tm.SetDurabilityHook(nil)
+	close(m.stopc)
+	m.wg.Wait()
+	return m.wal.Close()
+}

@@ -1,0 +1,165 @@
+package persistence
+
+import (
+	"fmt"
+
+	"hyrise/internal/concurrency"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Record kinds. The numeric values are part of the on-disk WAL format.
+const (
+	recInsert byte = iota + 1
+	recDelete
+	recCommit
+	recCreateTable
+	recDropTable
+	recCreateView
+	recDropView
+)
+
+// record is one decoded WAL record. Insert and delete records buffer until
+// the transaction's commit record makes them effective; DDL records apply
+// immediately (they are appended durably outside any transaction).
+type record struct {
+	kind byte
+	tid  types.TransactionID
+	cid  types.CommitID // recCommit
+
+	table  string      // recInsert, recDelete, recCreateTable, recDropTable
+	row    types.RowID // recInsert, recDelete
+	values []types.Value
+
+	chunkSize int  // recCreateTable
+	useMvcc   bool // recCreateTable
+	defs      []storage.ColumnDefinition
+
+	view    string // recCreateView, recDropView
+	viewSQL string // recCreateView
+}
+
+// appendRedoOp encodes an insert or delete redo operation.
+func appendRedoOp(w *writer, tid types.TransactionID, op concurrency.RedoOp) error {
+	switch op.Kind {
+	case concurrency.RedoInsert:
+		w.byte(recInsert)
+		w.uvarint(uint64(tid))
+		w.string_(op.Table)
+		w.uvarint(uint64(op.Row.Chunk))
+		w.uvarint(uint64(op.Row.Offset))
+		w.uvarint(uint64(len(op.Values)))
+		for _, v := range op.Values {
+			if err := w.value(v); err != nil {
+				return err
+			}
+		}
+	case concurrency.RedoDelete:
+		w.byte(recDelete)
+		w.uvarint(uint64(tid))
+		w.string_(op.Table)
+		w.uvarint(uint64(op.Row.Chunk))
+		w.uvarint(uint64(op.Row.Offset))
+	default:
+		return fmt.Errorf("persistence: unknown redo kind %d", op.Kind)
+	}
+	return nil
+}
+
+func appendCommitRecord(w *writer, tid types.TransactionID, cid types.CommitID) {
+	w.byte(recCommit)
+	w.uvarint(uint64(tid))
+	w.uvarint(uint64(cid))
+}
+
+func appendCreateTableRecord(w *writer, t *storage.Table) {
+	w.byte(recCreateTable)
+	w.string_(t.Name())
+	w.uvarint(uint64(t.TargetChunkSize()))
+	if t.UsesMvcc() {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+	defs := t.ColumnDefinitions()
+	w.uvarint(uint64(len(defs)))
+	for _, d := range defs {
+		w.string_(d.Name)
+		w.byte(byte(d.Type))
+		if d.Nullable {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+	}
+}
+
+func appendDropTableRecord(w *writer, name string) {
+	w.byte(recDropTable)
+	w.string_(name)
+}
+
+func appendCreateViewRecord(w *writer, name, sql string) {
+	w.byte(recCreateView)
+	w.string_(name)
+	w.string_(sql)
+}
+
+func appendDropViewRecord(w *writer, name string) {
+	w.byte(recDropView)
+	w.string_(name)
+}
+
+// decodeRecord parses one record payload (already CRC-verified framing).
+func decodeRecord(payload []byte) (*record, error) {
+	r := &reader{buf: payload}
+	rec := &record{kind: r.byte_()}
+	switch rec.kind {
+	case recInsert:
+		rec.tid = types.TransactionID(r.uvarint())
+		rec.table = r.string_()
+		rec.row = types.RowID{Chunk: types.ChunkID(r.uvarint()), Offset: types.ChunkOffset(r.uvarint())}
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(payload)) {
+			r.fail("value count exceeds record size")
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			rec.values = append(rec.values, r.value())
+		}
+	case recDelete:
+		rec.tid = types.TransactionID(r.uvarint())
+		rec.table = r.string_()
+		rec.row = types.RowID{Chunk: types.ChunkID(r.uvarint()), Offset: types.ChunkOffset(r.uvarint())}
+	case recCommit:
+		rec.tid = types.TransactionID(r.uvarint())
+		rec.cid = types.CommitID(r.uvarint())
+	case recCreateTable:
+		rec.table = r.string_()
+		rec.chunkSize = int(r.uvarint())
+		rec.useMvcc = r.byte_() == 1
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(payload)) {
+			r.fail("column count exceeds record size")
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			rec.defs = append(rec.defs, storage.ColumnDefinition{
+				Name:     r.string_(),
+				Type:     types.DataType(r.byte_()),
+				Nullable: r.byte_() == 1,
+			})
+		}
+	case recDropTable:
+		rec.table = r.string_()
+	case recCreateView:
+		rec.view = r.string_()
+		rec.viewSQL = r.string_()
+	case recDropView:
+		rec.view = r.string_()
+	default:
+		return nil, fmt.Errorf("persistence: unknown record kind %d", rec.kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return rec, nil
+}

@@ -1,0 +1,305 @@
+package persistence
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// Snapshot file layout: 8-byte magic, a body of primitive encodings, and a
+// trailing little-endian CRC32 over the body. Segments are serialized in
+// whatever physical form they currently have (value, dictionary, run-length,
+// frame-of-reference), so an encoded immutable chunk restores encoded.
+//
+// MVCC state collapses to two bitmaps per chunk — committed (begin != ∞)
+// and deleted (end != ∞). Restored rows are stamped begin=0 (visible since
+// the beginning of time) or left invisible; WAL replay over the snapshot
+// re-stamps rows whose commits landed after the snapshot cut.
+const (
+	snapMagic = "HYSNAP01"
+	// SnapshotFileName is the name of the snapshot inside the data directory.
+	SnapshotFileName = "snapshot.db"
+	// WALFileName is the name of the write-ahead log inside the data directory.
+	WALFileName = "wal.log"
+)
+
+// encodeSnapshot serializes all tables and views into a snapshot body tagged
+// with the WAL cut (lsn, lastCID).
+func encodeSnapshot(sm *storage.StorageManager, lsn int64, lastCID types.CommitID) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 1<<16)}
+	w.bytes([]byte(snapMagic))
+	w.uvarint(uint64(lsn))
+	w.uvarint(uint64(lastCID))
+
+	names := sm.TableNames()
+	w.uvarint(uint64(len(names)))
+	for _, name := range names {
+		t, err := sm.GetTable(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := encodeTable(w, t); err != nil {
+			return nil, fmt.Errorf("persistence: snapshot table %q: %w", name, err)
+		}
+	}
+
+	views := sm.Views()
+	w.uvarint(uint64(len(views)))
+	for _, name := range sortedKeys(views) {
+		w.string_(name)
+		w.string_(views[name])
+	}
+
+	crc := crc32.ChecksumIEEE(w.buf[len(snapMagic):])
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc)
+	return w.buf, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func encodeTable(w *writer, t *storage.Table) error {
+	w.string_(t.Name())
+	w.uvarint(uint64(t.TargetChunkSize()))
+	if t.UsesMvcc() {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+	defs := t.ColumnDefinitions()
+	w.uvarint(uint64(len(defs)))
+	for _, d := range defs {
+		w.string_(d.Name)
+		w.byte(byte(d.Type))
+		if d.Nullable {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+	}
+
+	chunks := t.Chunks()
+	w.uvarint(uint64(len(chunks)))
+	for _, c := range chunks {
+		segs, rows := c.SnapshotSegments()
+		if c.IsImmutable() {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+		w.uvarint(uint64(rows))
+		for _, seg := range segs {
+			buf, err := encoding.AppendSegment(w.buf, seg)
+			if err != nil {
+				return err
+			}
+			w.buf = buf
+		}
+		mvcc := c.MvccData()
+		if mvcc == nil {
+			w.byte(0)
+			continue
+		}
+		w.byte(1)
+		committed := make([]bool, rows)
+		deleted := make([]bool, rows)
+		for i := 0; i < rows; i++ {
+			off := types.ChunkOffset(i)
+			committed[i] = mvcc.Begin(off) != types.MaxCommitID
+			deleted[i] = mvcc.End(off) != types.MaxCommitID
+		}
+		w.bitmap(committed)
+		w.bitmap(deleted)
+	}
+	return nil
+}
+
+// readSnapshot loads the snapshot file into the (empty) storage manager and
+// returns the WAL cut it was taken at. A missing file returns (0, 0, nil).
+func readSnapshot(path string, sm *storage.StorageManager) (lsn int64, lastCID types.CommitID, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	if len(buf) < len(snapMagic)+4 || string(buf[:len(snapMagic)]) != snapMagic {
+		return 0, 0, fmt.Errorf("persistence: %s is not a snapshot file", path)
+	}
+	body := buf[len(snapMagic) : len(buf)-4]
+	wantCRC := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return 0, 0, fmt.Errorf("persistence: snapshot %s fails CRC check", path)
+	}
+
+	r := &reader{buf: body}
+	lsn = int64(r.uvarint())
+	lastCID = types.CommitID(r.uvarint())
+
+	nTables := r.uvarint()
+	if r.err == nil && nTables > uint64(len(body)) {
+		r.fail("table count exceeds snapshot size")
+	}
+	for i := uint64(0); i < nTables && r.err == nil; i++ {
+		t, err := decodeTable(r)
+		if err != nil {
+			return 0, 0, fmt.Errorf("persistence: snapshot table %d: %w", i, err)
+		}
+		if t == nil {
+			break // r.err set
+		}
+		if err := sm.AddTable(t); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	nViews := r.uvarint()
+	if r.err == nil && nViews > uint64(len(body)) {
+		r.fail("view count exceeds snapshot size")
+	}
+	for i := uint64(0); i < nViews && r.err == nil; i++ {
+		name := r.string_()
+		sql := r.string_()
+		if r.err == nil {
+			if err := sm.AddView(name, sql); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if r.err != nil {
+		return 0, 0, r.err
+	}
+	return lsn, lastCID, nil
+}
+
+func decodeTable(r *reader) (*storage.Table, error) {
+	name := r.string_()
+	chunkSize := int(r.uvarint())
+	useMvcc := r.byte_() == 1
+	nCols := r.uvarint()
+	if r.err == nil && nCols > uint64(len(r.buf))+1 {
+		r.fail("column count exceeds snapshot size")
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	defs := make([]storage.ColumnDefinition, 0, nCols)
+	for i := uint64(0); i < nCols && r.err == nil; i++ {
+		n := r.string_()
+		ty := types.DataType(r.byte_())
+		nullable := r.byte_() == 1
+		defs = append(defs, storage.ColumnDefinition{Name: n, Type: ty, Nullable: nullable})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	t := storage.NewTable(name, defs, chunkSize, useMvcc)
+	nChunks := r.uvarint()
+	if r.err == nil && nChunks > uint64(len(r.buf))+1 {
+		r.fail("chunk count exceeds snapshot size")
+	}
+	for ci := uint64(0); ci < nChunks && r.err == nil; ci++ {
+		immutable := r.byte_() == 1
+		rows := int(r.uvarint())
+		if r.err != nil {
+			return nil, r.err
+		}
+		segs := make([]storage.Segment, len(defs))
+		for i := range defs {
+			seg, rest, err := encoding.DecodeSegment(r.buf)
+			if err != nil {
+				return nil, fmt.Errorf("chunk %d column %d: %w", ci, i, err)
+			}
+			if seg.Len() != rows {
+				return nil, fmt.Errorf("chunk %d column %d: segment has %d rows, want %d", ci, i, seg.Len(), rows)
+			}
+			segs[i] = seg
+			r.buf = rest
+		}
+		var mvcc *storage.MvccData
+		hasMvcc := r.byte_() == 1
+		if hasMvcc {
+			committed := r.bitmap()
+			deleted := r.bitmap()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if len(committed) != rows || len(deleted) != rows {
+				// bitmap() returns nil for zero-length maps, which matches
+				// rows == 0; anything else is corruption.
+				if !(rows == 0 && committed == nil && deleted == nil) {
+					return nil, fmt.Errorf("chunk %d: MVCC bitmap length mismatch", ci)
+				}
+			}
+			capacity := rows
+			if !immutable {
+				capacity = chunkSize // mutable tail keeps growing after restore
+			}
+			mvcc = storage.NewMvccData(capacity)
+			for i := 0; i < rows; i++ {
+				off := types.ChunkOffset(i)
+				mvcc.EnsureCapacity(off)
+				if committed[i] {
+					mvcc.SetBegin(off, 0)
+				}
+				if deleted[i] {
+					mvcc.SetEnd(off, 0)
+				}
+			}
+		}
+		chunk := storage.NewChunk(segs, mvcc)
+		if immutable {
+			chunk.Finalize()
+		}
+		t.AppendChunk(chunk)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return t, nil
+}
+
+// writeSnapshotFile atomically replaces the snapshot in dir: write to a temp
+// file, fsync, rename, fsync the directory.
+func writeSnapshotFile(dir string, buf []byte) error {
+	final := filepath.Join(dir, SnapshotFileName)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(final)
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"hyrise/internal/observe"
 	"hyrise/internal/operators"
 	"hyrise/internal/optimizer"
+	"hyrise/internal/persistence"
 	"hyrise/internal/scheduler"
 	"hyrise/internal/sqlparser"
 	"hyrise/internal/statistics"
@@ -71,6 +72,18 @@ type Config struct {
 	// address: net/http/pprof plus a JSON dump of the metrics registry at
 	// /metrics (port 0 picks a free port; see Engine.DebugAddr).
 	DebugAddr string
+	// DataDir, when non-empty, makes the engine durable: on startup the
+	// latest snapshot in the directory is restored and the write-ahead log
+	// replayed; afterwards every committed transaction and DDL statement is
+	// logged. Empty keeps the engine fully in-memory.
+	DataDir string
+	// SyncMode controls when WAL writes reach disk: "commit" (default,
+	// group fsync before a commit is acknowledged), "batch" (background
+	// fsync, bounded loss window), or "off" (OS page cache only).
+	SyncMode string
+	// SnapshotInterval, when > 0 and DataDir is set, checkpoints in the
+	// background at this cadence, truncating the WAL each time.
+	SnapshotInterval time.Duration
 }
 
 // DefaultConfig enables everything except the scheduler, mirroring the
@@ -102,6 +115,7 @@ type Engine struct {
 	metrics   *engineMetrics
 	traceSink atomic.Pointer[func(*observe.Trace)]
 	debug     *observe.DebugServer
+	persist   *persistence.Manager
 
 	mu       sync.Mutex
 	prepared map[string]string // name -> SQL text
@@ -123,8 +137,22 @@ type cachedPlan struct {
 	columns []string
 }
 
-// NewEngine creates an engine over (or with) a storage manager.
+// NewEngine creates an engine over (or with) a storage manager. It panics
+// when durability is configured but cannot be initialized (use NewEngineErr
+// to handle recovery errors).
 func NewEngine(cfg Config, sm *storage.StorageManager) *Engine {
+	e, err := NewEngineErr(cfg, sm)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NewEngineErr creates an engine over (or with) a storage manager. When
+// Config.DataDir is set, it restores the latest snapshot and replays the
+// write-ahead log before returning; the engine accepts no statements until
+// recovery has finished.
+func NewEngineErr(cfg Config, sm *storage.StorageManager) (*Engine, error) {
 	if sm == nil {
 		sm = storage.NewStorageManager()
 	}
@@ -143,7 +171,35 @@ func NewEngine(cfg Config, sm *storage.StorageManager) *Engine {
 		e.sched = scheduler.NewImmediateScheduler()
 	}
 	e.initObservability()
-	return e
+	if cfg.DataDir != "" {
+		mode, err := persistence.ParseSyncMode(cfg.SyncMode)
+		if err != nil {
+			return nil, err
+		}
+		m, err := persistence.Open(e.sm, e.tm, persistence.Options{
+			Dir:              cfg.DataDir,
+			Mode:             mode,
+			SnapshotInterval: cfg.SnapshotInterval,
+			Registry:         e.registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: open data directory %s: %w", cfg.DataDir, err)
+		}
+		e.persist = m
+	}
+	return e, nil
+}
+
+// Durable reports whether the engine runs with a write-ahead log.
+func (e *Engine) Durable() bool { return e.persist != nil }
+
+// Checkpoint snapshots the whole catalog to the data directory and
+// truncates the write-ahead log. It fails when the engine has no DataDir.
+func (e *Engine) Checkpoint() error {
+	if e.persist == nil {
+		return fmt.Errorf("pipeline: engine has no data directory")
+	}
+	return e.persist.Checkpoint()
 }
 
 // initObservability creates the metrics registry, registers the pull-style
@@ -222,10 +278,15 @@ func (e *Engine) DebugAddr() string {
 	return e.debug.Addr()
 }
 
-// Close shuts the scheduler and the debug endpoint down.
+// Close shuts the persistence layer, the scheduler, and the debug endpoint
+// down. With a data directory, the WAL is flushed and fsynced; pending
+// group commits complete first.
 func (e *Engine) Close() {
 	if e.debug != nil {
 		_ = e.debug.Close()
+	}
+	if e.persist != nil {
+		_ = e.persist.Close()
 	}
 	e.sched.Shutdown()
 }
@@ -331,10 +392,22 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 		if err := s.engine.sm.AddTable(table); err != nil {
 			return nil, err
 		}
+		if p := s.engine.persist; p != nil {
+			if err := p.LogCreateTable(table); err != nil {
+				_ = s.engine.sm.DropTable(st.Name)
+				return nil, err
+			}
+		}
 		return &Result{Tag: "CREATE TABLE"}, nil
 	case *sqlparser.CreateViewStatement:
 		if err := s.engine.sm.AddView(st.Name, st.SQL); err != nil {
 			return nil, err
+		}
+		if p := s.engine.persist; p != nil {
+			if err := p.LogCreateView(st.Name, st.SQL); err != nil {
+				_ = s.engine.sm.DropView(st.Name)
+				return nil, err
+			}
 		}
 		return &Result{Tag: "CREATE VIEW"}, nil
 	case *sqlparser.DropStatement:
@@ -342,10 +415,20 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 			if err := s.engine.sm.DropView(st.Name); err != nil {
 				return nil, err
 			}
+			if p := s.engine.persist; p != nil {
+				if err := p.LogDropView(st.Name); err != nil {
+					return nil, err
+				}
+			}
 			return &Result{Tag: "DROP VIEW"}, nil
 		}
 		if err := s.engine.sm.DropTable(st.Name); err != nil {
 			return nil, err
+		}
+		if p := s.engine.persist; p != nil {
+			if err := p.LogDropTable(st.Name); err != nil {
+				return nil, err
+			}
 		}
 		return &Result{Tag: "DROP TABLE"}, nil
 	default:

@@ -5,7 +5,6 @@
 package statistics
 
 import (
-	"encoding/binary"
 	"math"
 	"sort"
 )
@@ -179,13 +178,21 @@ func (h *Histogram) EstimateRange(lo, hi float64) float64 {
 }
 
 // StringToDomain embeds a string order-preservingly into the float64
-// domain using its first eight bytes as a big-endian integer. Longer shared
-// prefixes collapse, which is acceptable for selectivity estimation.
+// domain via its first seven bytes, read as digits in base 257 where an
+// absent position is 0 and byte b is b+1. Reserving 0 for "past the end"
+// keeps prefixes strictly below their extensions ("a" < "a\x00"), which a
+// plain zero-pad would collapse. Strings sharing a 7-byte prefix still
+// collapse, which is acceptable for selectivity estimation. The result
+// stays below 257^7 < 2^57; uint64→float64 conversion is monotone there,
+// so ordering is preserved.
 func StringToDomain(s string) float64 {
-	var b [8]byte
-	copy(b[:], s)
-	u := binary.BigEndian.Uint64(b[:])
-	// Map to [0, 2^63) to stay comfortably inside exact float range issues;
-	// relative order is what matters.
-	return float64(u >> 1)
+	var u uint64
+	for i := 0; i < 7; i++ {
+		var d uint64
+		if i < len(s) {
+			d = uint64(s[i]) + 1
+		}
+		u = u*257 + d
+	}
+	return float64(u)
 }

@@ -2,6 +2,7 @@ package statistics
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -119,6 +120,22 @@ func TestStringToDomainOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestStringToDomainDistinguishesShortStrings pins collision regressions:
+// the former zero-padded mapping collapsed a string with its NUL-extension
+// and (via a low-bit shift) adjacent 8-byte values.
+func TestStringToDomainDistinguishesShortStrings(t *testing.T) {
+	increasing := []string{"", "\x00", "a", "a\x00", "a\x01", "ab", "abc", "abd", "aaaaaa", "aaaaaab"}
+	sorted := append([]string(nil), increasing...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		da, db := StringToDomain(a), StringToDomain(b)
+		if !(da < db) {
+			t.Errorf("StringToDomain(%q) = %v not < StringToDomain(%q) = %v", a, da, b, db)
+		}
 	}
 }
 

@@ -247,6 +247,35 @@ func (c *Chunk) GetSegment(col types.ColumnID) Segment {
 	}
 }
 
+// SnapshotSegments returns every segment truncated to one consistent row
+// count, taken under a single lock acquisition. Serialization (snapshots)
+// uses it so all columns of a mutable chunk are captured at the same row
+// boundary even while appends continue.
+func (c *Chunk) SnapshotSegments() ([]Segment, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	size := int(c.rowCount.Load())
+	immutable := c.immutable.Load()
+	out := make([]Segment, len(c.segments))
+	for i, seg := range c.segments {
+		if !immutable {
+			switch vs := seg.(type) {
+			case *ValueSegment[int64]:
+				out[i] = vs.snapshot(size)
+				continue
+			case *ValueSegment[float64]:
+				out[i] = vs.snapshot(size)
+				continue
+			case *ValueSegment[string]:
+				out[i] = vs.snapshot(size)
+				continue
+			}
+		}
+		out[i] = seg
+	}
+	return out, size
+}
+
 // ReplaceSegment swaps in a (typically encoded) segment for a column. Only
 // legal on immutable chunks, where the data can no longer change underneath.
 func (c *Chunk) ReplaceSegment(col types.ColumnID, seg Segment) {

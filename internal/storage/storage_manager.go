@@ -138,6 +138,17 @@ func (sm *StorageManager) AddView(name, sql string) error {
 	return nil
 }
 
+// Views returns a snapshot of all views (name -> SQL text).
+func (sm *StorageManager) Views() map[string]string {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	out := make(map[string]string, len(sm.views))
+	for name, sql := range sm.views {
+		out[name] = sql
+	}
+	return out
+}
+
 // GetView returns the SQL text of a view.
 func (sm *StorageManager) GetView(name string) (string, bool) {
 	sm.mu.RLock()

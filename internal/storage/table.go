@@ -213,6 +213,90 @@ func (t *Table) AppendRow(vals []types.Value) (types.RowID, error) {
 	}, nil
 }
 
+// RestoreRowAt places a row at an exact RowID during log replay. Offsets
+// skipped because their transactions never committed are padded with
+// invisible placeholder rows (begin = MaxCommitID, end = 0), so the chunk
+// geometry the log's RowIDs reference is reproduced exactly. It reports
+// whether the row already existed (replay over a snapshot that already
+// contains it is idempotent).
+func (t *Table) RestoreRowAt(row types.RowID, vals []types.Value) (existed bool, err error) {
+	if t.tableType != DataTable {
+		return false, fmt.Errorf("storage: cannot restore into reference table")
+	}
+	if len(vals) != len(t.defs) {
+		return false, fmt.Errorf("storage: restore row has %d values, table %q has %d columns", len(vals), t.name, len(t.defs))
+	}
+	if int(row.Offset) >= t.targetChunkSize {
+		return false, fmt.Errorf("storage: restore offset %d exceeds chunk capacity %d of table %q", row.Offset, t.targetChunkSize, t.name)
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			if !t.defs[i].Nullable {
+				return false, fmt.Errorf("storage: restore NULL in non-nullable column %q", t.defs[i].Name)
+			}
+			continue
+		}
+		if v.Type != t.defs[i].Type {
+			return false, fmt.Errorf("storage: restore value type %s does not match column %q type %s", v.Type, t.defs[i].Name, t.defs[i].Type)
+		}
+	}
+
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+
+	// Create missing chunks up to the target; like AppendRow, opening a new
+	// chunk finalizes its predecessor.
+	for t.ChunkCount() <= int(row.Chunk) {
+		t.mu.Lock()
+		if n := len(t.chunks); n > 0 {
+			t.chunks[n-1].Finalize()
+		}
+		t.chunks = append(t.chunks, t.newMutableChunk())
+		t.mu.Unlock()
+	}
+
+	chunk := t.GetChunk(row.Chunk)
+	if int(row.Offset) < chunk.Size() {
+		return true, nil
+	}
+	if chunk.IsImmutable() {
+		return false, fmt.Errorf("storage: restore offset %d beyond immutable chunk %d of table %q", row.Offset, row.Chunk, t.name)
+	}
+	mvcc := chunk.MvccData()
+	if mvcc == nil && chunk.Size() < int(row.Offset) {
+		return false, fmt.Errorf("storage: cannot pad rows of table %q without MVCC data", t.name)
+	}
+	for chunk.Size() < int(row.Offset) {
+		off := types.ChunkOffset(chunk.Size())
+		if err := chunk.appendRow(t.placeholderRow()); err != nil {
+			return false, err
+		}
+		// Placeholders stand in for aborted or uncommitted rows: never
+		// visible to anyone.
+		mvcc.SetEnd(off, 0)
+	}
+	if err := chunk.appendRow(vals); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// placeholderRow builds a typed all-zero row used to pad recovery gaps.
+func (t *Table) placeholderRow() []types.Value {
+	vals := make([]types.Value, len(t.defs))
+	for i, d := range t.defs {
+		switch d.Type {
+		case types.TypeFloat64:
+			vals[i] = types.Float(0)
+		case types.TypeString:
+			vals[i] = types.Str("")
+		default:
+			vals[i] = types.Int(0)
+		}
+	}
+	return vals
+}
+
 // FinalizeLastChunk makes the current mutable chunk immutable (e.g. after a
 // bulk load) so that encodings, indexes, and filters can be applied.
 func (t *Table) FinalizeLastChunk() {
