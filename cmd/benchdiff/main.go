@@ -1,0 +1,219 @@
+// Command benchdiff turns `go test -bench` output into a stable JSON
+// snapshot and compares two snapshots with a regression threshold. It is the
+// engine of the CI benchmark gate:
+//
+//	go test ./internal/benchmark -bench '^BenchmarkMicro' -benchtime=1x -count=5 | \
+//	    benchdiff parse -out BENCH_PR.json
+//	benchdiff compare -baseline BENCH_BASELINE.json -current BENCH_PR.json -threshold 25
+//
+// parse keeps the MINIMUM ns/op across repeated runs of the same benchmark
+// (-count=N): the minimum is the least noisy estimator of the true cost on
+// shared CI hardware. compare exits non-zero when any benchmark present in
+// both snapshots regressed by more than the threshold percentage.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's snapshot entry.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+// Snapshot is the JSON document benchdiff reads and writes.
+type Snapshot struct {
+	GoVersion  string            `json:"go_version,omitempty"`
+	GOOS       string            `json:"goos,omitempty"`
+	GOARCH     string            `json:"goarch,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  benchdiff parse [-out file.json] < go-test-bench-output
+  benchdiff compare -baseline base.json -current cur.json [-threshold pct]
+`)
+	os.Exit(2)
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkMicroJoin/radix-8   3   12345678 ns/op   4096 B/op   12 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("out", "", "output JSON file (default stdout)")
+	_ = fs.Parse(args)
+
+	snap, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: parsed %d benchmarks\n", len(snap.Benchmarks))
+}
+
+func parseBench(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]Result{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{NsPerOp: ns, Runs: 1}
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		// -count=N repeats lines: keep the minimum as the noise-robust
+		// estimate, and count the runs.
+		if prev, ok := snap.Benchmarks[name]; ok {
+			res.Runs = prev.Runs + 1
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp != 0 && (res.AllocsPerOp == 0 || prev.AllocsPerOp < res.AllocsPerOp) {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+			if prev.BytesPerOp != 0 && (res.BytesPerOp == 0 || prev.BytesPerOp < res.BytesPerOp) {
+				res.BytesPerOp = prev.BytesPerOp
+			}
+		}
+		snap.Benchmarks[name] = res
+	}
+	return snap, sc.Err()
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "baseline snapshot JSON")
+	curPath := fs.String("current", "", "current snapshot JSON")
+	threshold := fs.Float64("threshold", 25, "max allowed ns/op regression in percent")
+	_ = fs.Parse(args)
+	if *basePath == "" || *curPath == "" {
+		usage()
+	}
+
+	base, err := loadSnapshot(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadSnapshot(*curPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("MISSING  %-45s (in baseline, not in current run)\n", name)
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("%-9s %-45s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", status, name, b.NsPerOp, c.NsPerOp, delta)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("NEW      %-45s %12.0f ns/op (not in baseline)\n", name, cur.Benchmarks[name].NsPerOp)
+		}
+	}
+
+	if failed > 0 {
+		fmt.Printf("\nbenchdiff: %d benchmark(s) regressed more than %.0f%% vs baseline\n", failed, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no regression beyond %.0f%%\n", *threshold)
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no benchmarks key", path)
+	}
+	return &s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

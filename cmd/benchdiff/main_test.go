@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: hyrise/internal/benchmark
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMicroJoin/serial-8         	       1	 177213572 ns/op	 1024 B/op	      12 allocs/op
+BenchmarkMicroJoin/serial-8         	       1	 160000000 ns/op	 1024 B/op	      11 allocs/op
+BenchmarkMicroJoin/radix-8          	       1	 158546540 ns/op
+BenchmarkMicroAggregate/serial-8    	       2	 130107697 ns/op
+PASS
+ok  	hyrise/internal/benchmark	1.777s
+`
+
+func TestParseBenchKeepsMinimum(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	serial := snap.Benchmarks["BenchmarkMicroJoin/serial"]
+	if serial.NsPerOp != 160000000 {
+		t.Errorf("min ns/op = %v, want 160000000", serial.NsPerOp)
+	}
+	if serial.Runs != 2 {
+		t.Errorf("runs = %d, want 2", serial.Runs)
+	}
+	if serial.AllocsPerOp != 11 {
+		t.Errorf("min allocs/op = %v, want 11", serial.AllocsPerOp)
+	}
+	radix := snap.Benchmarks["BenchmarkMicroJoin/radix"]
+	if radix.NsPerOp != 158546540 || radix.Runs != 1 {
+		t.Errorf("radix = %+v", radix)
+	}
+}
+
+func TestParseBenchStripsGOMAXPROCSSuffix(t *testing.T) {
+	snap, err := parseBench(strings.NewReader("BenchmarkX-16   10   500 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Benchmarks["BenchmarkX"]; !ok {
+		t.Fatalf("suffix not stripped: %v", snap.Benchmarks)
+	}
+}

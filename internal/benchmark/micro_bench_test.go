@@ -1,0 +1,213 @@
+package benchmark
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/operators"
+	"hyrise/internal/pipeline"
+	"hyrise/internal/scheduler"
+	"hyrise/internal/storage"
+	"hyrise/internal/tpch"
+	"hyrise/internal/types"
+)
+
+// Microbenchmarks for the parallel execution path. These are the workloads
+// the CI benchmark-regression gate tracks (see cmd/benchdiff and the bench
+// job in .github/workflows/ci.yml): run with
+//
+//	go test ./internal/benchmark -bench '^BenchmarkMicro' -benchtime=1x -count=5
+//
+// Scale is controllable via HYRISE_MICRO_ROWS (join/aggregate input rows,
+// default 200000) so the same benchmarks serve quick CI gating and real
+// measurement runs.
+
+func microRows() int {
+	if s := os.Getenv("HYRISE_MICRO_ROWS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 200_000
+}
+
+func microJoinTables(b *testing.B, n int) (*storage.Table, *storage.Table) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	defs := func(p string) []storage.ColumnDefinition {
+		return []storage.ColumnDefinition{
+			{Name: p + "_key", Type: types.TypeInt64},
+			{Name: p + "_val", Type: types.TypeInt64},
+		}
+	}
+	build := func(p string, rows int) *storage.Table {
+		t := storage.NewTable(p, defs(p), 65536, false)
+		for i := 0; i < rows; i++ {
+			if _, err := t.AppendRow([]types.Value{
+				types.Int(int64(rng.Intn(rows / 4))),
+				types.Int(int64(i)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		t.FinalizeLastChunk()
+		return t
+	}
+	return build("l", n), build("r", n/2)
+}
+
+// tableSource feeds a pre-built table into an operator tree.
+type tableSource struct{ table *storage.Table }
+
+func (s *tableSource) Name() string                 { return "BenchTable" }
+func (s *tableSource) Inputs() []operators.Operator { return nil }
+func (s *tableSource) Run(*operators.ExecContext, []*storage.Table) (*storage.Table, error) {
+	return s.table, nil
+}
+
+func BenchmarkMicroJoin(b *testing.B) {
+	n := microRows()
+	l, r := microJoinTables(b, n)
+	sched := scheduler.NewNodeQueueScheduler(1, 0) // 0 = one worker per CPU
+	defer sched.Shutdown()
+
+	cases := []struct {
+		name     string
+		strategy operators.JoinStrategy
+		sched    scheduler.Scheduler
+	}{
+		{"serial", operators.JoinStrategySerial, nil},
+		{"radix", operators.JoinStrategyRadix, sched},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := operators.NewExecContext(nil, tc.sched, nil)
+				ctx.Parallel.JoinStrategy = tc.strategy
+				join := operators.NewHashJoin(operators.JoinModeInner,
+					&tableSource{l}, &tableSource{r},
+					&expression.BoundColumn{Index: 0}, &expression.BoundColumn{Index: 0}, nil)
+				out, err := operators.Execute(join, ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.RowCount() == 0 {
+					b.Fatal("empty join result")
+				}
+			}
+		})
+	}
+}
+
+func microAggTable(b *testing.B, n, groups int) *storage.Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	defs := []storage.ColumnDefinition{
+		{Name: "g", Type: types.TypeInt64},
+		{Name: "v", Type: types.TypeInt64},
+	}
+	t := storage.NewTable("agg", defs, 65536, false)
+	for i := 0; i < n; i++ {
+		if _, err := t.AppendRow([]types.Value{
+			types.Int(int64(rng.Intn(groups))),
+			types.Int(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	t.FinalizeLastChunk()
+	return t
+}
+
+func BenchmarkMicroAggregate(b *testing.B) {
+	n := microRows()
+	table := microAggTable(b, n, n/8) // group-heavy: the merge dominates
+	sched := scheduler.NewNodeQueueScheduler(1, 0)
+	defer sched.Shutdown()
+
+	cases := []struct {
+		name      string
+		sched     scheduler.Scheduler
+		threshold int
+	}{
+		{"serial", nil, -1},
+		{"parallel", sched, 1},
+	}
+	col := func(i int) *expression.BoundColumn { return &expression.BoundColumn{Index: i} }
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := operators.NewExecContext(nil, tc.sched, nil)
+				ctx.Parallel.ParallelMergeThreshold = tc.threshold
+				agg := operators.NewAggregate(&tableSource{table},
+					[]expression.Expression{col(0)},
+					[]*expression.Aggregate{
+						{Fn: expression.AggCountStar},
+						{Fn: expression.AggSum, Arg: col(1)},
+					},
+					[]string{"g", "n", "s"},
+					[]types.DataType{types.TypeInt64, types.TypeInt64, types.TypeInt64})
+				out, err := operators.Execute(agg, ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.RowCount() == 0 {
+					b.Fatal("empty aggregate result")
+				}
+			}
+		})
+	}
+}
+
+const microSF = 0.01
+
+func microTPCHEngine(b *testing.B, cfg pipeline.Config) *pipeline.Engine {
+	b.Helper()
+	sm := storage.NewStorageManager()
+	if err := tpch.Generate(sm, tpch.Config{ScaleFactor: microSF, ChunkSize: 10_000, UseMvcc: cfg.UseMvcc, Seed: 42}); err != nil {
+		b.Fatal(err)
+	}
+	if err := tpch.EncodeAndFilter(sm, tpch.DefaultEncoding()); err != nil {
+		b.Fatal(err)
+	}
+	e := pipeline.NewEngine(cfg, sm)
+	b.Cleanup(e.Close)
+	return e
+}
+
+func BenchmarkMicroTPCHQ3(b *testing.B) {
+	queries := tpch.Queries(microSF)
+	q3 := queries[3]
+
+	cases := []struct {
+		name string
+		cfg  func() pipeline.Config
+	}{
+		{"serial", func() pipeline.Config {
+			cfg := pipeline.DefaultConfig()
+			cfg.JoinStrategy = operators.JoinStrategySerial
+			return cfg
+		}},
+		{"radix", func() pipeline.Config {
+			cfg := pipeline.DefaultConfig()
+			cfg.UseScheduler = true
+			cfg.JoinStrategy = operators.JoinStrategyRadix
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			e := microTPCHEngine(b, tc.cfg())
+			s := e.NewSession()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ExecuteOne(q3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

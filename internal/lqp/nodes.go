@@ -32,6 +32,8 @@ const (
 	JoinCross
 	JoinSemi
 	JoinAnti
+	JoinRight
+	JoinFull
 )
 
 // String names the join kind.
@@ -47,6 +49,10 @@ func (k JoinKind) String() string {
 		return "Semi"
 	case JoinAnti:
 		return "Anti"
+	case JoinRight:
+		return "Right"
+	case JoinFull:
+		return "Full"
 	default:
 		return "?"
 	}
@@ -432,12 +438,17 @@ func (n *JoinNode) recomputeSchema() {
 	switch n.Kind {
 	case JoinSemi, JoinAnti:
 		n.schema = ls
-	case JoinLeft:
+	case JoinLeft, JoinRight, JoinFull:
 		rs := n.right.Schema()
 		schema := make(Schema, 0, len(ls)+len(rs))
-		schema = append(schema, ls...)
+		leftNullable := n.Kind == JoinRight || n.Kind == JoinFull
+		rightNullable := n.Kind == JoinLeft || n.Kind == JoinFull
+		for _, c := range ls {
+			c.Nullable = c.Nullable || leftNullable // outer side may be NULL-extended
+			schema = append(schema, c)
+		}
 		for _, c := range rs {
-			c.Nullable = true // outer side may be NULL-extended
+			c.Nullable = c.Nullable || rightNullable
 			schema = append(schema, c)
 		}
 		n.schema = schema

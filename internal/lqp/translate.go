@@ -479,6 +479,10 @@ func (t *Translator) translateTableRef(ref sqlparser.TableRef, sc *scope) (Node,
 			kind = JoinInner
 		case sqlparser.JoinLeft:
 			kind = JoinLeft
+		case sqlparser.JoinRight:
+			kind = JoinRight
+		case sqlparser.JoinFull:
+			kind = JoinFull
 		default:
 			kind = JoinCross
 		}

@@ -268,6 +268,17 @@ type ExecMetrics struct {
 	RowsScanned *Counter
 	// OperatorsExecuted counts physical operator invocations.
 	OperatorsExecuted *Counter
+	// JoinPartitions accumulates the partition counts of radix-partitioned
+	// hash joins (serial joins add nothing).
+	JoinPartitions *Counter
+	// JoinBuildNS / JoinProbeNS accumulate wall nanoseconds spent in the
+	// hash join's build and probe phases (summed across partitions, so
+	// parallel runs report total CPU work, not elapsed time).
+	JoinBuildNS *Counter
+	JoinProbeNS *Counter
+	// AggregateMergeNS accumulates wall nanoseconds spent merging per-chunk
+	// partial aggregation maps.
+	AggregateMergeNS *Counter
 }
 
 // NewExecMetrics resolves the executor counters from a registry.
@@ -275,5 +286,9 @@ func NewExecMetrics(r *Registry) *ExecMetrics {
 	return &ExecMetrics{
 		RowsScanned:       r.Counter("rows_scanned"),
 		OperatorsExecuted: r.Counter("operators_executed"),
+		JoinPartitions:    r.Counter("operator.join.partitions"),
+		JoinBuildNS:       r.Counter("operator.join.build_ns"),
+		JoinProbeNS:       r.Counter("operator.join.probe_ns"),
+		AggregateMergeNS:  r.Counter("operator.aggregate.merge_ns"),
 	}
 }

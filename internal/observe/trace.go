@@ -33,6 +33,10 @@ type OpSpan struct {
 	// ChunksPruned is the number of chunks the optimizer excluded before
 	// this operator touched the table (GetTable only).
 	ChunksPruned int64
+	// Attrs carries operator-specific measurements (e.g. the radix join's
+	// partition count and build/probe nanoseconds). Nil when the operator
+	// recorded none.
+	Attrs map[string]int64
 }
 
 // Trace is the record of one query execution: per-stage wall times plus
@@ -110,14 +114,35 @@ func (t *Trace) RecordOp(key any, name string, d time.Duration, rowsIn, rowsOut,
 	sp, ok := t.ops[key]
 	if !ok {
 		t.seq++
-		sp = &OpSpan{Name: name, Seq: t.seq}
+		sp = &OpSpan{Seq: t.seq}
 		t.ops[key] = sp
 	}
+	// The span may pre-exist with only attributes (AddOpAttr during Run).
+	sp.Name = name
 	sp.Calls++
 	sp.Duration += d
 	sp.RowsIn += rowsIn
 	sp.RowsOut += rowsOut
 	sp.ChunksPruned += chunksPruned
+	t.mu.Unlock()
+}
+
+// AddOpAttr accumulates a named measurement onto the operator's span.
+// Operators call it from inside Run (the span entry is created on first
+// use and later completed by RecordOp); repeated adds under the same name
+// sum, so per-partition contributions aggregate naturally.
+func (t *Trace) AddOpAttr(key any, name string, delta int64) {
+	t.mu.Lock()
+	sp, ok := t.ops[key]
+	if !ok {
+		t.seq++
+		sp = &OpSpan{Seq: t.seq}
+		t.ops[key] = sp
+	}
+	if sp.Attrs == nil {
+		sp.Attrs = make(map[string]int64)
+	}
+	sp.Attrs[name] += delta
 	t.mu.Unlock()
 }
 
@@ -131,6 +156,10 @@ func (t *Trace) Op(key any) *OpSpan {
 		return nil
 	}
 	cp := *sp
+	cp.Attrs = make(map[string]int64, len(sp.Attrs))
+	for k, v := range sp.Attrs {
+		cp.Attrs[k] = v
+	}
 	return &cp
 }
 
@@ -139,7 +168,12 @@ func (t *Trace) OpSpans() []OpSpan {
 	t.mu.Lock()
 	out := make([]OpSpan, 0, len(t.ops))
 	for _, sp := range t.ops {
-		out = append(out, *sp)
+		cp := *sp
+		cp.Attrs = make(map[string]int64, len(sp.Attrs))
+		for k, v := range sp.Attrs {
+			cp.Attrs[k] = v
+		}
+		out = append(out, cp)
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })

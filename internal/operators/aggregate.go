@@ -3,7 +3,9 @@ package operators
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
+	"time"
 
 	"hyrise/internal/expression"
 	"hyrise/internal/storage"
@@ -56,6 +58,13 @@ type aggState struct {
 type group struct {
 	keys   []types.Value
 	states []aggState
+	// hash is the FNV-1a hash of the group's encoded key — the shard
+	// selector of the parallel merge.
+	hash uint64
+	// firstSeen is the global row ordinal of the group's first appearance.
+	// The output is ordered by it, which makes the merge order-independent:
+	// the order derives from the data, not from task completion order.
+	firstSeen int64
 }
 
 // chunkGroups is the partial aggregation of one chunk.
@@ -66,19 +75,28 @@ type chunkGroups struct {
 }
 
 // Run implements Operator: per-chunk partial aggregation (parallel under a
-// multi-worker scheduler), then a sequential merge — the two-phase shape
-// that makes chunked tables an "inherent partitioning" for multiprocessing
-// (paper §2.2).
+// multi-worker scheduler), then an order-independent merge — sequential for
+// few groups, hash-sharded parallel beyond Parallel.ParallelMergeThreshold.
+// The two-phase shape is what makes chunked tables an "inherent
+// partitioning" for multiprocessing (paper §2.2).
 func (op *Aggregate) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
 	input := inputs[0]
 	chunks := input.Chunks()
 	partials := make([]chunkGroups, len(chunks))
 
+	// Global row ordinal of each chunk's first row (for firstSeen).
+	bases := make([]int64, len(chunks))
+	var base int64
+	for ci, c := range chunks {
+		bases[ci] = base
+		base += int64(c.Size())
+	}
+
 	jobs := make([]func(), len(chunks))
 	for ci, c := range chunks {
 		ci, c := ci, c
 		jobs[ci] = func() {
-			partials[ci] = op.aggregateChunk(ctx, input, c)
+			partials[ci] = op.aggregateChunk(ctx, input, c, bases[ci])
 		}
 	}
 	ctx.runJobs(jobs)
@@ -86,36 +104,149 @@ func (op *Aggregate) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 		return nil, err
 	}
 
-	groups := make(map[string]*group)
-	var order []string // deterministic output order (first appearance)
-	for _, p := range partials {
-		if p.err != nil {
-			return nil, p.err
-		}
-		for _, key := range p.order {
-			partial := p.groups[key]
-			g, ok := groups[key]
-			if !ok {
-				groups[key] = partial
-				order = append(order, key)
-				continue
-			}
-			for i := range g.states {
-				mergeState(&g.states[i], &partial.states[i], op.Aggs[i])
-			}
-		}
+	groups, err := op.mergePartials(ctx, partials)
+	if err != nil {
+		return nil, err
 	}
 
 	// SQL: aggregation without GROUP BY always yields one row.
 	if len(op.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = &group{states: make([]aggState, len(op.Aggs))}
-		order = append(order, "")
+		groups = append(groups, &group{states: make([]aggState, len(op.Aggs))})
 	}
 
-	return op.buildOutput(groups, order)
+	return op.buildOutput(groups)
 }
 
-func (op *Aggregate) aggregateChunk(ctx *ExecContext, input *storage.Table, c *storage.Chunk) chunkGroups {
+// defaultParallelMergeThreshold is the partial-group count at which the
+// sharded parallel merge starts to pay for its fan-out.
+const defaultParallelMergeThreshold = 4096
+
+// mergeShardCancelStride is how many groups a merge shard processes between
+// cancellation checks.
+const mergeShardCancelStride = 4096
+
+// mergePartials folds the per-chunk partial maps into the final group list,
+// ordered by each group's first appearance in the data. The result is
+// independent of the order in which partials arrive or merge (the satellite
+// bugfix: merge no longer assumes chunk-ordered partials).
+func (op *Aggregate) mergePartials(ctx *ExecContext, partials []chunkGroups) ([]*group, error) {
+	totalGroups := 0
+	for i := range partials {
+		if partials[i].err != nil {
+			return nil, partials[i].err
+		}
+		totalGroups += len(partials[i].order)
+	}
+
+	threshold := ctx.Parallel.ParallelMergeThreshold
+	if threshold == 0 {
+		threshold = defaultParallelMergeThreshold
+	}
+	workers := 1
+	if ctx.Scheduler != nil {
+		workers = ctx.Scheduler.WorkerCount()
+	}
+
+	start := time.Now()
+	var out []*group
+	shards := 1
+	if threshold > 0 && totalGroups >= threshold && workers > 1 {
+		shards = nextPow2(min(workers, 64))
+		var err error
+		out, err = mergeSharded(ctx, op.Aggs, partials, shards)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		out = mergeSerial(op.Aggs, partials)
+	}
+	// Stable output order derived from the data: ascending first appearance.
+	// (Each row belongs to exactly one group, so firstSeen is unique.)
+	sort.Slice(out, func(i, j int) bool { return out[i].firstSeen < out[j].firstSeen })
+	ctx.noteAggregateMerge(op, shards, time.Since(start).Nanoseconds())
+	return out, nil
+}
+
+// mergeSerial merges all partials on the calling goroutine.
+func mergeSerial(aggs []*expression.Aggregate, partials []chunkGroups) []*group {
+	merged := make(map[string]*group)
+	out := make([]*group, 0, len(partials))
+	for pi := range partials {
+		p := &partials[pi]
+		for _, key := range p.order {
+			partial := p.groups[key]
+			g, ok := merged[key]
+			if !ok {
+				merged[key] = partial
+				out = append(out, partial)
+				continue
+			}
+			mergeGroup(g, partial, aggs)
+		}
+	}
+	return out
+}
+
+// mergeSharded fans the merge out over hash shards: shard s owns every
+// group whose key hash lands in it, so shards share no state and the
+// result is independent of scheduling order.
+func mergeSharded(ctx *ExecContext, aggs []*expression.Aggregate, partials []chunkGroups, shards int) ([]*group, error) {
+	mask := uint64(shards - 1)
+	results := make([][]*group, shards)
+	jobs := make([]func(), shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		jobs[s] = func() {
+			merged := make(map[string]*group)
+			var out []*group
+			seen := 0
+			for pi := range partials {
+				p := &partials[pi]
+				for _, key := range p.order {
+					partial := p.groups[key]
+					if partial.hash&mask != uint64(s) {
+						continue
+					}
+					seen++
+					if seen%mergeShardCancelStride == 0 && ctx.Err() != nil {
+						return
+					}
+					g, ok := merged[key]
+					if !ok {
+						merged[key] = partial
+						out = append(out, partial)
+						continue
+					}
+					mergeGroup(g, partial, aggs)
+				}
+			}
+			results[s] = out
+		}
+	}
+	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out []*group
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// mergeGroup folds one partial group into dst (state merge is commutative
+// and associative; firstSeen takes the minimum, so merge order is
+// irrelevant).
+func mergeGroup(dst, src *group, aggs []*expression.Aggregate) {
+	for i := range dst.states {
+		mergeState(&dst.states[i], &src.states[i], aggs[i])
+	}
+	if src.firstSeen < dst.firstSeen {
+		dst.firstSeen = src.firstSeen
+	}
+}
+
+func (op *Aggregate) aggregateChunk(ctx *ExecContext, input *storage.Table, c *storage.Chunk, base int64) chunkGroups {
 	out := chunkGroups{groups: make(map[string]*group)}
 	n := c.Size()
 	if n == 0 {
@@ -162,7 +293,12 @@ func (op *Aggregate) aggregateChunk(ctx *ExecContext, input *storage.Table, c *s
 		key := keyBuf.String()
 		g, ok := out.groups[key]
 		if !ok {
-			g = &group{keys: keys, states: make([]aggState, len(op.Aggs))}
+			g = &group{
+				keys:      keys,
+				states:    make([]aggState, len(op.Aggs)),
+				hash:      fnv64str(key),
+				firstSeen: base + int64(row),
+			}
 			out.groups[key] = g
 			out.order = append(out.order, key)
 		}
@@ -379,7 +515,7 @@ func (st *aggState) result(agg *expression.Aggregate, outType types.DataType) ty
 	}
 }
 
-func (op *Aggregate) buildOutput(groups map[string]*group, order []string) (*storage.Table, error) {
+func (op *Aggregate) buildOutput(groups []*group) (*storage.Table, error) {
 	nCols := len(op.GroupBy) + len(op.Aggs)
 	if len(op.Names) != nCols || len(op.Types) != nCols {
 		return nil, fmt.Errorf("operators: aggregate schema mismatch")
@@ -394,8 +530,7 @@ func (op *Aggregate) buildOutput(groups map[string]*group, order []string) (*sto
 	}
 	out := storage.NewTable("", defs, max(len(groups), 1), false)
 	row := make([]types.Value, nCols)
-	for _, key := range order {
-		g := groups[key]
+	for _, g := range groups {
 		for i := range op.GroupBy {
 			row[i] = coerce(g.keys[i], defs[i].Type)
 		}

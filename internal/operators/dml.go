@@ -224,13 +224,13 @@ func (op *Update) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 			if err := ctx.Tx.TryInvalidate(ref.chunk, ref.offset); err != nil {
 				return nil, err
 			}
-				ctx.Tx.LogDelete(op.TableName, ref.rid)
+			ctx.Tx.LogDelete(op.TableName, ref.rid)
 			rid, err := table.AppendRow(vals)
 			if err != nil {
 				return nil, err
 			}
 			ctx.Tx.RegisterInsert(table.GetChunk(rid.Chunk), rid.Offset)
-				ctx.Tx.LogInsert(op.TableName, rid, vals)
+			ctx.Tx.LogInsert(op.TableName, rid, vals)
 			updated++
 		}
 	}

@@ -3,6 +3,7 @@ package operators
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"hyrise/internal/expression"
 	"hyrise/internal/storage"
@@ -12,13 +13,16 @@ import (
 // JoinMode enumerates physical join semantics.
 type JoinMode uint8
 
-// Join modes. Semi/Anti output left columns only.
+// Join modes. Semi/Anti output left columns only; Right/Full NULL-extend
+// the unmatched rows of the non-preserved side(s).
 const (
 	JoinModeInner JoinMode = iota
 	JoinModeLeft
 	JoinModeSemi
 	JoinModeAnti
 	JoinModeCross
+	JoinModeRight
+	JoinModeFull
 )
 
 // String names the mode.
@@ -34,10 +38,22 @@ func (m JoinMode) String() string {
 		return "Anti"
 	case JoinModeCross:
 		return "Cross"
+	case JoinModeRight:
+		return "Right"
+	case JoinModeFull:
+		return "Full"
 	default:
 		return "?"
 	}
 }
+
+// nullExtendsLeft reports whether unmatched right rows appear NULL-extended
+// on the left side (so left output columns become nullable).
+func (m JoinMode) nullExtendsLeft() bool { return m == JoinModeRight || m == JoinModeFull }
+
+// nullExtendsRight reports whether unmatched left rows appear NULL-extended
+// on the right side.
+func (m JoinMode) nullExtendsRight() bool { return m == JoinModeLeft || m == JoinModeFull }
 
 // joinCommon holds what all join implementations share: the sides, the
 // residual predicates (bound against the concatenated left++right schema),
@@ -105,13 +121,14 @@ func (j *joinCommon) filterResiduals(ctx *ExecContext, leftT, rightT *storage.Ta
 }
 
 // assemble builds the join output table for the surviving pairs.
-// For Left joins, unmatchedLeft lists left rows to NULL-extend.
-func (j *joinCommon) assemble(leftT, rightT *storage.Table, leftRows, rightRows types.PosList, unmatchedLeft types.PosList) (*storage.Table, error) {
+// unmatchedLeft / unmatchedRight list the rows of the preserved side(s) to
+// NULL-extend (Left/Right/Full joins).
+func (j *joinCommon) assemble(leftT, rightT *storage.Table, leftRows, rightRows types.PosList, unmatchedLeft, unmatchedRight types.PosList) (*storage.Table, error) {
 	switch j.Mode {
 	case JoinModeSemi, JoinModeAnti:
 		return buildReferenceTable(leftT, []types.PosList{leftRows}, nil), nil
 	}
-	if j.Mode == JoinModeLeft && len(unmatchedLeft) > 0 {
+	if j.Mode.nullExtendsRight() && len(unmatchedLeft) > 0 {
 		leftRows = append(leftRows, unmatchedLeft...)
 		nulls := make(types.PosList, len(unmatchedLeft))
 		for i := range nulls {
@@ -119,10 +136,21 @@ func (j *joinCommon) assemble(leftT, rightT *storage.Table, leftRows, rightRows 
 		}
 		rightRows = append(rightRows, nulls...)
 	}
+	if j.Mode.nullExtendsLeft() && len(unmatchedRight) > 0 {
+		rightRows = append(rightRows, unmatchedRight...)
+		nulls := make(types.PosList, len(unmatchedRight))
+		for i := range nulls {
+			nulls[i] = types.NullRowID
+		}
+		leftRows = append(leftRows, nulls...)
+	}
 	defs := make([]storage.ColumnDefinition, 0, leftT.ColumnCount()+rightT.ColumnCount())
-	defs = append(defs, leftT.ColumnDefinitions()...)
+	for _, d := range leftT.ColumnDefinitions() {
+		d.Nullable = d.Nullable || j.Mode.nullExtendsLeft()
+		defs = append(defs, d)
+	}
 	for _, d := range rightT.ColumnDefinitions() {
-		d.Nullable = d.Nullable || j.Mode == JoinModeLeft
+		d.Nullable = d.Nullable || j.Mode.nullExtendsRight()
 		defs = append(defs, d)
 	}
 	if len(leftRows) == 0 {
@@ -281,16 +309,58 @@ func (j *HashJoin) Name() string {
 	return fmt.Sprintf("HashJoin(%s, %s)", j.Mode, strings.Join(pairs, " AND "))
 }
 
-// Run implements Operator.
+// pairSet collects candidate join pairs plus the global row indices backing
+// them; the indices are what lets finish track matched rows on either side
+// (Left/Right/Full/Semi/Anti modes).
+type pairSet struct {
+	left, right       types.PosList
+	leftIdx, rightIdx []int32
+}
+
+func (ps *pairSet) append(l, r types.RowID, li, ri int32) {
+	ps.left = append(ps.left, l)
+	ps.right = append(ps.right, r)
+	ps.leftIdx = append(ps.leftIdx, li)
+	ps.rightIdx = append(ps.rightIdx, ri)
+}
+
+// Run implements Operator: the build/probe either runs single-threaded
+// (serial strategy, small inputs, or no multi-worker scheduler) or through
+// the radix-partitioned parallel path (join_radix.go). Both produce pairs
+// in identical order, so results are bit-for-bit equal.
 func (j *HashJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
 	leftT, rightT := inputs[0], inputs[1]
 
-	// Build phase over the right input.
 	rightVals, rightRows, err := evalKeysOverTable(ctx, rightT, j.RightKeys)
 	if err != nil {
 		return nil, err
 	}
+	leftVals, leftRows, err := evalKeysOverTable(ctx, leftT, j.LeftKeys)
+	if err != nil {
+		return nil, err
+	}
+
+	var ps pairSet
+	if parts := ctx.radixPartitions(len(leftVals) + len(rightVals)); parts > 1 {
+		ps, err = radixJoinPairs(ctx, j, leftVals, rightVals, leftRows, rightRows, parts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ps = j.serialPairs(ctx, leftVals, rightVals, leftRows, rightRows)
+	}
+
+	surviving, err := j.filterResiduals(ctx, leftT, rightT, ps.left, ps.right)
+	if err != nil {
+		return nil, err
+	}
+	return j.finish(leftT, rightT, leftRows, rightRows, ps, surviving)
+}
+
+// serialPairs is the classic single-threaded build (right) + probe (left).
+func (j *HashJoin) serialPairs(ctx *ExecContext, leftVals, rightVals [][]types.Value, leftRows, rightRows types.PosList) pairSet {
 	var sb strings.Builder
+	buildStart := time.Now()
 	ht := make(map[string][]int32, len(rightVals))
 	for i, tuple := range rightVals {
 		k, ok := compositeKey(&sb, tuple)
@@ -299,42 +369,54 @@ func (j *HashJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Tabl
 		}
 		ht[k] = append(ht[k], int32(i))
 	}
+	buildNS := time.Since(buildStart).Nanoseconds()
 
-	// Probe phase over the left input.
-	leftVals, leftRows, err := evalKeysOverTable(ctx, leftT, j.LeftKeys)
-	if err != nil {
-		return nil, err
-	}
-	var pairLeft, pairRight types.PosList
-	var pairLeftIdx []int32
+	probeStart := time.Now()
+	var ps pairSet
 	for i, tuple := range leftVals {
 		k, ok := compositeKey(&sb, tuple)
 		if !ok {
 			continue
 		}
 		for _, ri := range ht[k] {
-			pairLeft = append(pairLeft, leftRows[i])
-			pairRight = append(pairRight, rightRows[ri])
-			pairLeftIdx = append(pairLeftIdx, int32(i))
+			ps.append(leftRows[i], rightRows[ri], int32(i), ri)
 		}
 	}
-
-	surviving, err := j.filterResiduals(ctx, leftT, rightT, pairLeft, pairRight)
-	if err != nil {
-		return nil, err
-	}
-	return j.finish(leftT, rightT, leftRows, pairLeft, pairRight, pairLeftIdx, surviving)
+	ctx.noteJoinPhases(j, 1, buildNS, time.Since(probeStart).Nanoseconds())
+	return ps
 }
 
 // finish translates surviving pairs into the mode-specific output.
-func (j *joinCommon) finish(leftT, rightT *storage.Table, leftRows types.PosList, pairLeft, pairRight types.PosList, pairLeftIdx []int32, surviving []int) (*storage.Table, error) {
+func (j *joinCommon) finish(leftT, rightT *storage.Table, leftRows, rightRows types.PosList, ps pairSet, surviving []int) (*storage.Table, error) {
 	matched := make([]bool, len(leftRows))
+	var matchedRight []bool
+	if j.Mode.nullExtendsLeft() {
+		matchedRight = make([]bool, len(rightRows))
+	}
 	outLeft := make(types.PosList, 0, len(surviving))
 	outRight := make(types.PosList, 0, len(surviving))
 	for _, p := range surviving {
-		matched[pairLeftIdx[p]] = true
-		outLeft = append(outLeft, pairLeft[p])
-		outRight = append(outRight, pairRight[p])
+		matched[ps.leftIdx[p]] = true
+		if matchedRight != nil {
+			matchedRight[ps.rightIdx[p]] = true
+		}
+		outLeft = append(outLeft, ps.left[p])
+		outRight = append(outRight, ps.right[p])
+	}
+	var unmatchedLeft, unmatchedRight types.PosList
+	if j.Mode.nullExtendsRight() {
+		for i, m := range matched {
+			if !m {
+				unmatchedLeft = append(unmatchedLeft, leftRows[i])
+			}
+		}
+	}
+	if matchedRight != nil {
+		for i, m := range matchedRight {
+			if !m {
+				unmatchedRight = append(unmatchedRight, rightRows[i])
+			}
+		}
 	}
 	switch j.Mode {
 	case JoinModeSemi, JoinModeAnti:
@@ -345,16 +427,8 @@ func (j *joinCommon) finish(leftT, rightT *storage.Table, leftRows types.PosList
 				keep = append(keep, leftRows[i])
 			}
 		}
-		return j.assemble(leftT, rightT, keep, nil, nil)
-	case JoinModeLeft:
-		var unmatched types.PosList
-		for i, m := range matched {
-			if !m {
-				unmatched = append(unmatched, leftRows[i])
-			}
-		}
-		return j.assemble(leftT, rightT, outLeft, outRight, unmatched)
+		return j.assemble(leftT, rightT, keep, nil, nil, nil)
 	default:
-		return j.assemble(leftT, rightT, outLeft, outRight, nil)
+		return j.assemble(leftT, rightT, outLeft, outRight, unmatchedLeft, unmatchedRight)
 	}
 }

@@ -47,8 +47,7 @@ func (j *SortMergeJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storage
 	leftOrder := sortedOrder(leftVals)
 	rightOrder := sortedOrder(rightVals)
 
-	var pairLeft, pairRight types.PosList
-	var pairLeftIdx []int32
+	var ps pairSet
 
 	li, ri := 0, 0
 	for li < len(leftOrder) && ri < len(rightOrder) {
@@ -83,20 +82,19 @@ func (j *SortMergeJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storage
 			}
 			for a := li; a < lEnd; a++ {
 				for b := ri; b < rEnd; b++ {
-					pairLeft = append(pairLeft, leftRows[leftOrder[a]])
-					pairRight = append(pairRight, rightRows[rightOrder[b]])
-					pairLeftIdx = append(pairLeftIdx, int32(leftOrder[a]))
+					ps.append(leftRows[leftOrder[a]], rightRows[rightOrder[b]],
+						int32(leftOrder[a]), int32(rightOrder[b]))
 				}
 			}
 			li, ri = lEnd, rEnd
 		}
 	}
 
-	surviving, err := j.filterResiduals(ctx, leftT, rightT, pairLeft, pairRight)
+	surviving, err := j.filterResiduals(ctx, leftT, rightT, ps.left, ps.right)
 	if err != nil {
 		return nil, err
 	}
-	return j.finish(leftT, rightT, leftRows, pairLeft, pairRight, pairLeftIdx, surviving)
+	return j.finish(leftT, rightT, leftRows, rightRows, ps, surviving)
 }
 
 // sortedOrder returns row indices ordered by key value (NULLs last).
@@ -138,30 +136,30 @@ func (j *NestedLoopJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storag
 	rightRows := flattenRows(rightT)
 
 	matched := make([]bool, len(leftRows))
+	matchedRight := make([]bool, len(rightRows))
 	var outLeft, outRight types.PosList
+	emitPairs := j.Mode != JoinModeSemi && j.Mode != JoinModeAnti
 
 	// Process pair batches of bounded size to keep memory flat.
 	rowsPerBatch := max(1, nljBlockSize/max(1, len(rightRows)))
 	for lStart := 0; lStart < len(leftRows); lStart += rowsPerBatch {
 		lEnd := min(lStart+rowsPerBatch, len(leftRows))
-		var pairLeft, pairRight types.PosList
-		var pairLeftIdx []int32
+		var ps pairSet
 		for li := lStart; li < lEnd; li++ {
 			for ri := range rightRows {
-				pairLeft = append(pairLeft, leftRows[li])
-				pairRight = append(pairRight, rightRows[ri])
-				pairLeftIdx = append(pairLeftIdx, int32(li))
+				ps.append(leftRows[li], rightRows[ri], int32(li), int32(ri))
 			}
 		}
-		surviving, err := j.filterResiduals(ctx, leftT, rightT, pairLeft, pairRight)
+		surviving, err := j.filterResiduals(ctx, leftT, rightT, ps.left, ps.right)
 		if err != nil {
 			return nil, err
 		}
 		for _, p := range surviving {
-			matched[pairLeftIdx[p]] = true
-			if j.Mode == JoinModeInner || j.Mode == JoinModeLeft || j.Mode == JoinModeCross {
-				outLeft = append(outLeft, pairLeft[p])
-				outRight = append(outRight, pairRight[p])
+			matched[ps.leftIdx[p]] = true
+			matchedRight[ps.rightIdx[p]] = true
+			if emitPairs {
+				outLeft = append(outLeft, ps.left[p])
+				outRight = append(outRight, ps.right[p])
 			}
 		}
 	}
@@ -175,16 +173,23 @@ func (j *NestedLoopJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storag
 				keep = append(keep, leftRows[i])
 			}
 		}
-		return j.assemble(leftT, rightT, keep, nil, nil)
-	case JoinModeLeft:
-		var unmatched types.PosList
-		for i, m := range matched {
-			if !m {
-				unmatched = append(unmatched, leftRows[i])
+		return j.assemble(leftT, rightT, keep, nil, nil, nil)
+	default:
+		var unmatchedLeft, unmatchedRight types.PosList
+		if j.Mode.nullExtendsRight() {
+			for i, m := range matched {
+				if !m {
+					unmatchedLeft = append(unmatchedLeft, leftRows[i])
+				}
 			}
 		}
-		return j.assemble(leftT, rightT, outLeft, outRight, unmatched)
-	default:
-		return j.assemble(leftT, rightT, outLeft, outRight, nil)
+		if j.Mode.nullExtendsLeft() {
+			for i, m := range matchedRight {
+				if !m {
+					unmatchedRight = append(unmatchedRight, rightRows[i])
+				}
+			}
+		}
+		return j.assemble(leftT, rightT, outLeft, outRight, unmatchedLeft, unmatchedRight)
 	}
 }

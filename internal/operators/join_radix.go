@@ -1,0 +1,252 @@
+package operators
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hyrise/internal/types"
+)
+
+// This file implements the radix-partitioned, morsel-style parallel hash
+// join path. Both inputs are partitioned by a hash prefix of their join key
+// into P partitions (P ~ worker count); build and probe then run per
+// partition as independent scheduler tasks. Each partition's hash table
+// stays small and cache-resident, and the partitions never share mutable
+// state — the paper's §2.9 point that chunked tables are "an inherent
+// partitioning for multiprocessing", applied to the join hot path.
+//
+// Determinism: partitioning keeps rows in global row order within each
+// partition, and the final pair merge restores global probe order, so the
+// radix path emits exactly the pair sequence of the serial build/probe.
+
+// radixJoinMinRows is the combined input size below which the auto strategy
+// stays serial: partitioning overhead only amortizes on larger inputs.
+const radixJoinMinRows = 8192
+
+// maxJoinPartitions caps the fan-out; beyond this, per-partition fixed
+// costs (map allocation, task scheduling) dominate.
+const maxJoinPartitions = 256
+
+// radixCancelStride is how many probe rows a partition task processes
+// between cancellation checks.
+const radixCancelStride = 4096
+
+// radixPartitions decides the hash join fan-out for n total input rows.
+// 1 means "use the serial path".
+func (ctx *ExecContext) radixPartitions(n int) int {
+	switch ctx.Parallel.JoinStrategy {
+	case JoinStrategySerial:
+		return 1
+	case JoinStrategyRadix:
+		// Forced: parallel even under an inline scheduler (tests, benches).
+	default: // JoinStrategyAuto
+		if ctx.Scheduler == nil || ctx.Scheduler.WorkerCount() <= 1 || n < radixJoinMinRows {
+			return 1
+		}
+	}
+	p := ctx.Parallel.JoinPartitions
+	if p <= 0 {
+		p = 1
+		if ctx.Scheduler != nil {
+			p = ctx.Scheduler.WorkerCount()
+		}
+	}
+	if p < 2 {
+		p = 2
+	}
+	if p > maxJoinPartitions {
+		p = maxJoinPartitions
+	}
+	return nextPow2(p)
+}
+
+// nextPow2 rounds n up to a power of two (hash masking needs one).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fnv64str hashes a composite key string (FNV-1a).
+func fnv64str(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// joinPartition is one side's rows falling into one hash partition. idx
+// holds global row indices (into the side's vals/rows slices) in ascending
+// order; keys are the pre-rendered composite key strings.
+type joinPartition struct {
+	keys []string
+	idx  []int32
+}
+
+// partitionRangeRows bounds the work of one partitioning task.
+const partitionRangeRows = 16384
+
+// partitionSide splits one join side into parts hash partitions, in
+// parallel over row ranges. NULL-key rows are dropped (NULL never joins);
+// they remain visible to finish through the side's global rows slice.
+func partitionSide(ctx *ExecContext, vals [][]types.Value, parts int) []joinPartition {
+	n := len(vals)
+	mask := uint64(parts - 1)
+	ranges := (n + partitionRangeRows - 1) / partitionRangeRows
+	if ranges < 1 {
+		ranges = 1
+	}
+	// Each range job fills its own buckets; no shared mutable state.
+	type rangeBuckets struct {
+		keys [][]string
+		idx  [][]int32
+	}
+	buckets := make([]rangeBuckets, ranges)
+	jobs := make([]func(), ranges)
+	for r := 0; r < ranges; r++ {
+		r := r
+		jobs[r] = func() {
+			lo := r * partitionRangeRows
+			hi := min(lo+partitionRangeRows, n)
+			b := rangeBuckets{keys: make([][]string, parts), idx: make([][]int32, parts)}
+			var sb strings.Builder
+			for i := lo; i < hi; i++ {
+				if i%radixCancelStride == 0 && ctx.Err() != nil {
+					return
+				}
+				k, ok := compositeKey(&sb, vals[i])
+				if !ok {
+					continue
+				}
+				p := fnv64str(k) & mask
+				b.keys[p] = append(b.keys[p], k)
+				b.idx[p] = append(b.idx[p], int32(i))
+			}
+			buckets[r] = b
+		}
+	}
+	ctx.runJobs(jobs)
+	if ctx.Err() != nil {
+		return nil
+	}
+
+	// Concatenate the range buckets per partition, in range order, so each
+	// partition keeps ascending global row order.
+	out := make([]joinPartition, parts)
+	concat := make([]func(), parts)
+	for p := 0; p < parts; p++ {
+		p := p
+		concat[p] = func() {
+			total := 0
+			for r := range buckets {
+				total += len(buckets[r].keys[p])
+			}
+			if total == 0 {
+				return
+			}
+			keys := make([]string, 0, total)
+			idx := make([]int32, 0, total)
+			for r := range buckets {
+				keys = append(keys, buckets[r].keys[p]...)
+				idx = append(idx, buckets[r].idx[p]...)
+			}
+			out[p] = joinPartition{keys: keys, idx: idx}
+		}
+	}
+	ctx.runJobs(concat)
+	return out
+}
+
+// radixJoinPairs runs the partitioned build+probe and returns the candidate
+// pairs in serial probe order.
+func radixJoinPairs(ctx *ExecContext, j *HashJoin, leftVals, rightVals [][]types.Value, leftRows, rightRows types.PosList, parts int) (pairSet, error) {
+	build := partitionSide(ctx, rightVals, parts)
+	if err := ctx.Err(); err != nil {
+		return pairSet{}, err
+	}
+	probe := partitionSide(ctx, leftVals, parts)
+	if err := ctx.Err(); err != nil {
+		return pairSet{}, err
+	}
+
+	results := make([]pairSet, parts)
+	var buildNS, probeNS atomic.Int64
+	jobs := make([]func(), parts)
+	for p := 0; p < parts; p++ {
+		p := p
+		jobs[p] = func() {
+			b, pr := &build[p], &probe[p]
+			if len(pr.idx) == 0 {
+				return
+			}
+			t0 := time.Now()
+			ht := make(map[string][]int32, len(b.keys))
+			for i, k := range b.keys {
+				ht[k] = append(ht[k], b.idx[i])
+			}
+			t1 := time.Now()
+			buildNS.Add(t1.Sub(t0).Nanoseconds())
+			var out pairSet
+			for i, k := range pr.keys {
+				if i%radixCancelStride == 0 && ctx.Err() != nil {
+					return
+				}
+				for _, ri := range ht[k] {
+					out.append(leftRows[pr.idx[i]], rightRows[ri], pr.idx[i], ri)
+				}
+			}
+			probeNS.Add(time.Since(t1).Nanoseconds())
+			results[p] = out
+		}
+	}
+	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return pairSet{}, err
+	}
+	ctx.noteJoinPhases(j, parts, buildNS.Load(), probeNS.Load())
+	return mergePairSets(results), nil
+}
+
+// mergePairSets concatenates per-partition pairs and restores global probe
+// order. Each partition's pairs are already ascending in leftIdx and every
+// left row lives in exactly one partition, so a stable sort by leftIdx
+// reproduces the serial pair sequence exactly.
+func mergePairSets(results []pairSet) pairSet {
+	total := 0
+	for i := range results {
+		total += len(results[i].left)
+	}
+	merged := pairSet{
+		left:     make(types.PosList, 0, total),
+		right:    make(types.PosList, 0, total),
+		leftIdx:  make([]int32, 0, total),
+		rightIdx: make([]int32, 0, total),
+	}
+	for i := range results {
+		merged.left = append(merged.left, results[i].left...)
+		merged.right = append(merged.right, results[i].right...)
+		merged.leftIdx = append(merged.leftIdx, results[i].leftIdx...)
+		merged.rightIdx = append(merged.rightIdx, results[i].rightIdx...)
+	}
+	sort.Stable(pairsByLeftIdx{&merged})
+	return merged
+}
+
+// pairsByLeftIdx stable-sorts a pairSet's four parallel slices by leftIdx.
+type pairsByLeftIdx struct{ ps *pairSet }
+
+func (s pairsByLeftIdx) Len() int           { return len(s.ps.leftIdx) }
+func (s pairsByLeftIdx) Less(i, j int) bool { return s.ps.leftIdx[i] < s.ps.leftIdx[j] }
+func (s pairsByLeftIdx) Swap(i, j int) {
+	ps := s.ps
+	ps.left[i], ps.left[j] = ps.left[j], ps.left[i]
+	ps.right[i], ps.right[j] = ps.right[j], ps.right[i]
+	ps.leftIdx[i], ps.leftIdx[j] = ps.leftIdx[j], ps.leftIdx[i]
+	ps.rightIdx[i], ps.rightIdx[j] = ps.rightIdx[j], ps.rightIdx[i]
+}

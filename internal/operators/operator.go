@@ -9,6 +9,7 @@ package operators
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +31,49 @@ type Operator interface {
 	Inputs() []Operator
 	// Run computes the output given the already-computed input tables.
 	Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error)
+}
+
+// JoinStrategy selects the hash join execution path (paper-style
+// extensibility: the parallel kernel is a pluggable strategy, not a
+// rewrite — the serial path stays selectable).
+type JoinStrategy uint8
+
+// Join strategies.
+const (
+	// JoinStrategyAuto picks radix partitioning when a multi-worker
+	// scheduler is available and the inputs are large enough to amortize
+	// partitioning; serial otherwise.
+	JoinStrategyAuto JoinStrategy = iota
+	// JoinStrategySerial always runs the single-threaded build/probe.
+	JoinStrategySerial
+	// JoinStrategyRadix always runs the partitioned path (under an inline
+	// scheduler the partition tasks just run sequentially).
+	JoinStrategyRadix
+)
+
+// String names the strategy.
+func (s JoinStrategy) String() string {
+	switch s {
+	case JoinStrategySerial:
+		return "serial"
+	case JoinStrategyRadix:
+		return "radix"
+	default:
+		return "auto"
+	}
+}
+
+// ParallelOptions tunes the partitioned operator execution paths.
+type ParallelOptions struct {
+	// JoinStrategy selects the hash join path.
+	JoinStrategy JoinStrategy
+	// JoinPartitions overrides the radix fan-out (0 = one per scheduler
+	// worker, rounded up to a power of two).
+	JoinPartitions int
+	// ParallelMergeThreshold is the partial-group count at or above which
+	// the aggregate merge runs hash-sharded in parallel. 0 selects the
+	// default; negative disables the parallel merge entirely.
+	ParallelMergeThreshold int
 }
 
 // ExecContext carries the per-execution state: the transaction, the
@@ -60,6 +104,8 @@ type ExecContext struct {
 	// Metrics, when non-nil, receives global execution counters (rows
 	// scanned, operators executed).
 	Metrics *observe.ExecMetrics
+	// Parallel tunes the radix join and parallel aggregate merge paths.
+	Parallel ParallelOptions
 
 	// subqueryCache memoizes subquery executions by (id, params) so
 	// correlated subqueries re-execute only once per distinct parameter
@@ -96,6 +142,7 @@ func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 		Params:        params,
 		DynamicAccess: ctx.DynamicAccess,
 		Metrics:       ctx.Metrics,
+		Parallel:      ctx.Parallel,
 	}
 }
 
@@ -115,6 +162,33 @@ func (ctx *ExecContext) runJobs(jobs []func()) {
 		return
 	}
 	scheduler.RunJobsContext(ctx.Ctx, ctx.Scheduler, jobs)
+}
+
+// noteJoinPhases files a hash join's partition count and build/probe wall
+// nanoseconds into the metrics registry and the trace span (if any).
+func (ctx *ExecContext) noteJoinPhases(op Operator, partitions int, buildNS, probeNS int64) {
+	if m := ctx.Metrics; m != nil {
+		m.JoinPartitions.Add(int64(partitions))
+		m.JoinBuildNS.Add(buildNS)
+		m.JoinProbeNS.Add(probeNS)
+	}
+	if tr := ctx.Trace; tr != nil {
+		tr.AddOpAttr(op, "partitions", int64(partitions))
+		tr.AddOpAttr(op, "build_ns", buildNS)
+		tr.AddOpAttr(op, "probe_ns", probeNS)
+	}
+}
+
+// noteAggregateMerge files an aggregate's merge shard count and wall
+// nanoseconds into the metrics registry and the trace span (if any).
+func (ctx *ExecContext) noteAggregateMerge(op Operator, shards int, mergeNS int64) {
+	if m := ctx.Metrics; m != nil {
+		m.AggregateMergeNS.Add(mergeNS)
+	}
+	if tr := ctx.Trace; tr != nil {
+		tr.AddOpAttr(op, "merge_shards", int64(shards))
+		tr.AddOpAttr(op, "merge_ns", mergeNS)
+	}
 }
 
 // Execute runs a physical plan: every operator becomes a task whose
@@ -300,6 +374,16 @@ func AnnotatedPlanString(root Operator, tr *observe.Trace) string {
 			}
 			if sp.Calls > 1 {
 				fmt.Fprintf(&b, ", calls=%d", sp.Calls)
+			}
+			if len(sp.Attrs) > 0 {
+				names := make([]string, 0, len(sp.Attrs))
+				for k := range sp.Attrs {
+					names = append(names, k)
+				}
+				sort.Strings(names)
+				for _, k := range names {
+					fmt.Fprintf(&b, ", %s=%d", k, sp.Attrs[k])
+				}
 			}
 			b.WriteByte(']')
 		} else {

@@ -216,6 +216,10 @@ func (t *Translator) translateJoin(n *lqp.JoinNode) (Operator, error) {
 		mode = JoinModeSemi
 	case lqp.JoinAnti:
 		mode = JoinModeAnti
+	case lqp.JoinRight:
+		mode = JoinModeRight
+	case lqp.JoinFull:
+		mode = JoinModeFull
 	default:
 		mode = JoinModeCross
 	}

@@ -276,8 +276,13 @@ func (e *Estimator) joinCardinality(n *lqp.JoinNode) float64 {
 		}
 		card *= defaultRangeSelectivity
 	}
-	if n.Kind == lqp.JoinLeft {
+	switch n.Kind {
+	case lqp.JoinLeft:
 		card = math.Max(card, left)
+	case lqp.JoinRight:
+		card = math.Max(card, right)
+	case lqp.JoinFull:
+		card = math.Max(card, left+right)
 	}
 	return math.Max(card, 1)
 }

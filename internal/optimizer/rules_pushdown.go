@@ -196,6 +196,13 @@ func pushIntoJoin(join *lqp.JoinNode, pred expression.Expression, useIndex bool)
 		// Right-side or mixed predicates above a left join would change
 		// NULL-extension semantics: keep them above.
 		return join, false
+	case lqp.JoinRight:
+		if len(cols) > 0 && allAtLeast(cols, nLeft) {
+			return sideOnly(1)
+		}
+		// Left-side or mixed predicates above a right join would change
+		// NULL-extension semantics: keep them above.
+		return join, false
 	case lqp.JoinInner, lqp.JoinCross:
 		if len(cols) > 0 && allBelow(cols, nLeft) {
 			return sideOnly(0)

@@ -84,6 +84,19 @@ type Config struct {
 	// SnapshotInterval, when > 0 and DataDir is set, checkpoints in the
 	// background at this cadence, truncating the WAL each time.
 	SnapshotInterval time.Duration
+	// JoinStrategy selects the hash-join execution path: Auto (radix-
+	// partitioned parallel build/probe when the scheduler has multiple
+	// workers and the input is large enough), Serial (always single
+	// build/probe), or Radix (always partitioned — mainly for tests and
+	// benchmarks). Results are identical either way.
+	JoinStrategy operators.JoinStrategy
+	// JoinPartitions overrides the radix join fan-out (0 = one partition
+	// per scheduler worker, rounded up to a power of two).
+	JoinPartitions int
+	// ParallelMergeThreshold is the partial-group count beyond which the
+	// aggregate merge runs hash-sharded in parallel (0 = default 4096,
+	// negative disables the parallel merge).
+	ParallelMergeThreshold int
 }
 
 // DefaultConfig enables everything except the scheduler, mirroring the
@@ -586,6 +599,11 @@ func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlpar
 	ectx.DynamicAccess = engine.cfg.DynamicAccess
 	ectx.Trace = trace
 	ectx.Metrics = engine.metrics.exec
+	ectx.Parallel = operators.ParallelOptions{
+		JoinStrategy:           engine.cfg.JoinStrategy,
+		JoinPartitions:         engine.cfg.JoinPartitions,
+		ParallelMergeThreshold: engine.cfg.ParallelMergeThreshold,
+	}
 	out, err := operators.Execute(plan.root, ectx)
 	timing.Execute = time.Since(execStart)
 	if err != nil {

@@ -238,6 +238,10 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 	for i := range nullRight {
 		nullRight[i] = types.NullValue
 	}
+	nullLeft := make([]types.Value, nLeft)
+	for i := range nullLeft {
+		nullLeft[i] = types.NullValue
+	}
 
 	residualOK := func(l, r []types.Value) (bool, error) {
 		if len(residuals) == 0 {
@@ -253,7 +257,9 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 		return true, nil
 	}
 
-	var candidates func(l []types.Value) ([][]types.Value, error)
+	// candidates yields indices into right so outer modes can track which
+	// right rows matched.
+	var candidates func(l []types.Value) ([]int, error)
 	if hasEqui {
 		keyOf := func(row []types.Value, keys []expression.Expression) (string, bool, error) {
 			var sb strings.Builder
@@ -272,8 +278,8 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 			}
 			return sb.String(), true, nil
 		}
-		ht := make(map[string][][]types.Value, len(right))
-		for _, r := range right {
+		ht := make(map[string][]int, len(right))
+		for ri, r := range right {
 			k, ok, err := keyOf(r, rightKeys)
 			if err != nil {
 				return nil, err
@@ -281,9 +287,9 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 			if !ok {
 				continue
 			}
-			ht[k] = append(ht[k], r)
+			ht[k] = append(ht[k], ri)
 		}
-		candidates = func(l []types.Value) ([][]types.Value, error) {
+		candidates = func(l []types.Value) ([]int, error) {
 			k, ok, err := keyOf(l, leftKeys)
 			if err != nil || !ok {
 				return nil, err
@@ -291,9 +297,14 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 			return ht[k], nil
 		}
 	} else {
-		candidates = func([]types.Value) ([][]types.Value, error) { return right, nil }
+		all := make([]int, len(right))
+		for i := range all {
+			all[i] = i
+		}
+		candidates = func([]types.Value) ([]int, error) { return all, nil }
 	}
 
+	matchedRight := make([]bool, len(right))
 	var out [][]types.Value
 	for _, l := range left {
 		cands, err := candidates(l)
@@ -301,7 +312,8 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 			return nil, err
 		}
 		matched := false
-		for _, r := range cands {
+		for _, ri := range cands {
+			r := right[ri]
 			ok, err := residualOK(l, r)
 			if err != nil {
 				return nil, err
@@ -310,6 +322,7 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 				continue
 			}
 			matched = true
+			matchedRight[ri] = true
 			switch n.Kind {
 			case lqp.JoinSemi, lqp.JoinAnti:
 			default:
@@ -328,9 +341,16 @@ func (e *Engine) execJoin(n *lqp.JoinNode, params []types.Value) ([][]types.Valu
 			if !matched {
 				out = append(out, l)
 			}
-		case lqp.JoinLeft:
+		case lqp.JoinLeft, lqp.JoinFull:
 			if !matched {
 				out = append(out, combined(l, nullRight))
+			}
+		}
+	}
+	if n.Kind == lqp.JoinRight || n.Kind == lqp.JoinFull {
+		for ri, m := range matchedRight {
+			if !m {
+				out = append(out, combined(nullLeft, right[ri]))
 			}
 		}
 	}

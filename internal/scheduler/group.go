@@ -1,0 +1,78 @@
+package scheduler
+
+import (
+	"context"
+)
+
+// TaskGroup fans closures out as scheduler tasks and waits for the whole
+// batch — the primitive behind intra-operator parallelism (per-chunk scans,
+// radix join partitions, sharded aggregate merges). It preserves the
+// scheduler's skip-on-dead-context semantics: tasks not yet started when the
+// group's context dies are skipped, but every task still completes, so a
+// Wait can never deadlock — exactly the contract operators rely on for
+// chunk-granular cancellation.
+type TaskGroup struct {
+	ctx   context.Context // nil = never canceled
+	sched Scheduler
+	tasks []*Task
+}
+
+// NewTaskGroup creates a group over the scheduler. A nil scheduler (or a
+// single-worker one) still works: Go falls back to inline execution at Wait
+// time via the immediate path.
+func NewTaskGroup(ctx context.Context, s Scheduler) *TaskGroup {
+	return &TaskGroup{ctx: ctx, sched: s}
+}
+
+// Go adds one closure to the group. Closures must not call Wait on their own
+// group. Go may be called multiple times before a single Wait.
+func (g *TaskGroup) Go(name string, fn func()) {
+	t := NewTask(fn).Named(name)
+	if g.ctx != nil {
+		t.WithContext(g.ctx)
+	}
+	g.tasks = append(g.tasks, t)
+}
+
+// Wait schedules all added tasks and blocks until every one has completed
+// (run or skipped). It returns the context's error when the group was
+// canceled, nil otherwise — callers surface it exactly like runJobs +
+// ctx.Err(). After Wait returns no closure of the group is still running.
+func (g *TaskGroup) Wait() error {
+	if len(g.tasks) == 0 {
+		return g.err()
+	}
+	s := g.sched
+	if s == nil || s.WorkerCount() <= 1 {
+		// Inline: run in submission order, skipping once the context dies.
+		for _, t := range g.tasks {
+			if g.err() != nil {
+				break
+			}
+			t.fn()
+		}
+		g.tasks = g.tasks[:0]
+		return g.err()
+	}
+	tasks := g.tasks
+	g.tasks = nil
+	s.Schedule(tasks...)
+	WaitAll(tasks)
+	return g.err()
+}
+
+func (g *TaskGroup) err() error {
+	if g.ctx == nil {
+		return nil
+	}
+	return g.ctx.Err()
+}
+
+// RunGroup is the one-shot convenience: fan the jobs out and wait.
+func RunGroup(ctx context.Context, s Scheduler, jobs []func()) error {
+	g := NewTaskGroup(ctx, s)
+	for _, job := range jobs {
+		g.Go("", job)
+	}
+	return g.Wait()
+}

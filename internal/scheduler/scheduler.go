@@ -413,13 +413,5 @@ func RunJobsContext(ctx context.Context, s Scheduler, jobs []func()) {
 		}
 		return
 	}
-	tasks := make([]*Task, len(jobs))
-	for i, job := range jobs {
-		tasks[i] = NewTask(job)
-		if ctx != nil {
-			tasks[i].WithContext(ctx)
-		}
-	}
-	s.Schedule(tasks...)
-	WaitAll(tasks)
+	_ = RunGroup(ctx, s, jobs)
 }

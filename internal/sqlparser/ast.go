@@ -53,6 +53,8 @@ const (
 	JoinInner JoinKind = iota
 	JoinLeft
 	JoinCross
+	JoinRight
+	JoinFull
 )
 
 // String names the join kind.
@@ -64,6 +66,10 @@ func (k JoinKind) String() string {
 		return "Left"
 	case JoinCross:
 		return "Cross"
+	case JoinRight:
+		return "Right"
+	case JoinFull:
+		return "Full"
 	default:
 		return "?"
 	}

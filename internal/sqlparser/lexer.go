@@ -44,7 +44,7 @@ var keywords = map[string]bool{
 	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
 	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true, "EXISTS": true,
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
-	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true, "OUTER": true,
 	"ON": true, "CROSS": true, "DISTINCT": true, "ALL": true, "ANY": true,
 	"CREATE": true, "TABLE": true, "VIEW": true, "DROP": true, "INSERT": true,
 	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,

@@ -320,7 +320,7 @@ func (p *parser) parseTableRef() (TableRef, error) {
 }
 
 // acceptJoinKeyword consumes JOIN / INNER JOIN / LEFT [OUTER] JOIN /
-// RIGHT [OUTER] JOIN / CROSS JOIN. RIGHT joins are normalized by the caller.
+// RIGHT [OUTER] JOIN / FULL [OUTER] JOIN / CROSS JOIN.
 func (p *parser) acceptJoinKeyword() (JoinKind, bool) {
 	switch {
 	case p.acceptKeyword("JOIN"):
@@ -332,6 +332,14 @@ func (p *parser) acceptJoinKeyword() (JoinKind, bool) {
 		p.acceptKeyword("OUTER")
 		_ = p.expectKeyword("JOIN")
 		return JoinLeft, true
+	case p.acceptKeyword("RIGHT"):
+		p.acceptKeyword("OUTER")
+		_ = p.expectKeyword("JOIN")
+		return JoinRight, true
+	case p.acceptKeyword("FULL"):
+		p.acceptKeyword("OUTER")
+		_ = p.expectKeyword("JOIN")
+		return JoinFull, true
 	case p.acceptKeyword("CROSS"):
 		_ = p.expectKeyword("JOIN")
 		return JoinCross, true
