@@ -24,6 +24,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"hyrise/internal/observe"
 )
 
 // Result is one benchmark's snapshot entry.
@@ -51,6 +53,8 @@ func main() {
 		cmdParse(os.Args[2:])
 	case "compare":
 		cmdCompare(os.Args[2:])
+	case "promlint":
+		cmdPromlint()
 	default:
 		usage()
 	}
@@ -60,8 +64,28 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   benchdiff parse [-out file.json] < go-test-bench-output
   benchdiff compare -baseline base.json -current cur.json [-threshold pct]
+  benchdiff promlint < openmetrics-exposition
 `)
 	os.Exit(2)
+}
+
+// cmdPromlint validates an OpenMetrics text exposition read from stdin —
+// the CI smoke test pipes a live /metrics scrape through it.
+func cmdPromlint() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint: read stdin:", err)
+		os.Exit(1)
+	}
+	if len(data) == 0 {
+		fmt.Fprintln(os.Stderr, "promlint: empty exposition")
+		os.Exit(1)
+	}
+	if err := observe.LintOpenMetrics(string(data)); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: ok (%d bytes)\n", len(data))
 }
 
 // benchLine matches e.g.

@@ -23,8 +23,11 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve pprof and /metrics on this address (empty = disabled)")
 		slowLog     = flag.Bool("slow-log", false, "log slow queries to stderr")
 		slowThr     = flag.Duration("slow-threshold", server.DefaultSlowQueryThreshold, "slow-query log threshold")
+		slowTrace   = flag.Bool("slow-log-trace", false, "attach each slow query's EXPLAIN ANALYZE trace to its log entry (implies tracing)")
 		stmtTimeout = flag.Duration("statement-timeout", 0, "cancel statements running longer than this (0 = no timeout)")
+		lockWait    = flag.Duration("lock-wait", 0, "wait up to this long for a row lock held by another transaction before aborting with a conflict (0 = abort immediately)")
 		maxConns    = flag.Int("max-connections", 0, "refuse connections beyond this many concurrent sessions with SQLSTATE 53300 (0 = unlimited)")
+		admitWait   = flag.Duration("admission-wait", 0, "wait up to this long for a free session slot before refusing with 53300 (0 = refuse immediately)")
 		dataDir     = flag.String("data-dir", "", "durable data directory: restore snapshot+WAL on boot, log commits (empty = in-memory)")
 		syncMode    = flag.String("sync", "commit", "WAL sync mode: commit (fsync per commit group), batch (background fsync), off")
 		snapEvery   = flag.Duration("snapshot-interval", 0, "checkpoint snapshots at this cadence, truncating the WAL (0 = only on demand)")
@@ -35,6 +38,7 @@ func main() {
 	cfg.UseScheduler = *scheduler
 	cfg.DebugAddr = *debugAddr
 	cfg.StatementTimeout = *stmtTimeout
+	cfg.LockWaitTimeout = *lockWait
 	cfg.DataDir = *dataDir
 	cfg.SyncMode = *syncMode
 	cfg.SnapshotInterval = *snapEvery
@@ -48,7 +52,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "durable mode: data-dir=%s sync=%s\n", cfg.DataDir, cfg.SyncMode)
 	}
 	if d := engine.DebugAddr(); d != "" {
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (pprof + /metrics)\n", d)
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (pprof, OpenMetrics /metrics, JSON /metrics.json)\n", d)
 	}
 
 	if *tpchSF > 0 {
@@ -72,11 +76,17 @@ func main() {
 	}
 
 	srv := server.New(engine)
-	if *slowLog {
+	if *slowLog || *slowTrace {
 		srv.EnableSlowQueryLog(os.Stderr, *slowThr)
+	}
+	if *slowTrace {
+		srv.EnableSlowQueryTrace()
 	}
 	if *maxConns > 0 {
 		srv.SetMaxConnections(*maxConns)
+	}
+	if *admitWait > 0 {
+		srv.SetAdmissionWait(*admitWait)
 	}
 	actual, err := srv.Listen(*addr)
 	if err != nil {

@@ -159,6 +159,18 @@ func (db *Database) Metrics() *observe.Registry { return db.engine.Metrics() }
 // nil uninstalls it.
 func (db *Database) SetTraceSink(fn func(*observe.Trace)) { db.engine.SetTraceSink(fn) }
 
+// ActiveQueries snapshots the statements currently in flight across all
+// sessions — the meta_active_queries table in Go form.
+func (db *Database) ActiveQueries() []observe.ActiveQueryInfo { return db.engine.ActiveQueries() }
+
+// CancelQuery cancels the in-flight statement with the given id (also
+// callable as SELECT cancel_query(id)); it reports whether the id was live.
+func (db *Database) CancelQuery(id int64) bool { return db.engine.CancelQuery(id) }
+
+// StatementStats snapshots the pg_stat_statements-style per-fingerprint
+// statement statistics — the meta_statement_stats table in Go form.
+func (db *Database) StatementStats() []observe.StatementStatRow { return db.engine.StatementStats() }
+
 // Plugins exposes the plugin manager (paper §3).
 func (db *Database) Plugins() *plugin.Manager { return db.plugins }
 

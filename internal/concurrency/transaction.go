@@ -7,11 +7,14 @@
 package concurrency
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hyrise/internal/observe"
 	"hyrise/internal/storage"
 	"hyrise/internal/types"
 )
@@ -204,6 +207,25 @@ type TransactionContext struct {
 	invalidations []rowRef
 	redo          []RedoOp
 	abortCause    error
+	waitObs       func(kind observe.WaitKind) (end func())
+}
+
+// SetWaitObserver installs a callback fired when the transaction is about to
+// block — awaiting WAL durability at commit, or retrying a contended row
+// claim. The returned end function is called once the wait finishes; the
+// pipeline uses the pair to flip the active query to "waiting" and attribute
+// the blocked nanoseconds. The observer must not call back into the
+// transaction.
+func (tc *TransactionContext) SetWaitObserver(fn func(kind observe.WaitKind) (end func())) {
+	tc.mu.Lock()
+	tc.waitObs = fn
+	tc.mu.Unlock()
+}
+
+func (tc *TransactionContext) waitObserver() func(kind observe.WaitKind) (end func()) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.waitObs
 }
 
 // TID returns the transaction id.
@@ -258,6 +280,56 @@ func (tc *TransactionContext) TryInvalidate(chunk *storage.Chunk, row types.Chun
 	tc.invalidations = append(tc.invalidations, rowRef{chunk, row})
 	tc.mu.Unlock()
 	return nil
+}
+
+// TryInvalidateWait is TryInvalidate with a bounded lock wait: when the row
+// is merely *held* by another live transaction (not permanently
+// invalidated), the claim is retried with exponential backoff for up to
+// maxWait before giving up with the original conflict. A maxWait of zero
+// keeps the immediate-abort behavior. Waiting is cut short when ctx dies
+// (returning the context's error, so cancellation maps to SQLSTATE 57014)
+// or when the holder commits its delete (the row can never come back). The
+// full blocked span is reported through the wait observer.
+func (tc *TransactionContext) TryInvalidateWait(ctx context.Context, chunk *storage.Chunk, row types.ChunkOffset, maxWait time.Duration) error {
+	err := tc.TryInvalidate(chunk, row)
+	if err == nil || !errors.Is(err, ErrConflict) || maxWait <= 0 {
+		return err
+	}
+	mvcc := chunk.MvccData()
+	if obs := tc.waitObserver(); obs != nil {
+		if end := obs(observe.WaitMVCCConflict); end != nil {
+			defer end()
+		}
+	}
+	deadline := time.Now().Add(maxWait)
+	backoff := 50 * time.Microsecond
+	for {
+		if mvcc.End(row) != types.MaxCommitID {
+			// The holder committed its delete: permanently invalidated.
+			return err
+		}
+		if !time.Now().Before(deadline) {
+			return err
+		}
+		if ctx != nil {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		} else {
+			time.Sleep(backoff)
+		}
+		err = tc.TryInvalidate(chunk, row)
+		if err == nil || !errors.Is(err, ErrConflict) {
+			return err
+		}
+		if backoff *= 2; backoff > time.Millisecond {
+			backoff = time.Millisecond
+		}
+	}
 }
 
 // LogInsert records a redo entry for a freshly appended row, carrying its
@@ -337,7 +409,15 @@ func (tc *TransactionContext) Commit() error {
 	tc.phase = Committed
 	tm.committed.Add(1)
 	if wait != nil {
-		if err := wait(); err != nil {
+		var end func()
+		if obs := tc.waitObs; obs != nil {
+			end = obs(observe.WaitWALSync)
+		}
+		err := wait()
+		if end != nil {
+			end()
+		}
+		if err != nil {
 			return fmt.Errorf("concurrency: commit %d not durable: %w", cid, err)
 		}
 	}

@@ -1,10 +1,14 @@
 package concurrency
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"hyrise/internal/observe"
 	"hyrise/internal/storage"
 	"hyrise/internal/types"
 )
@@ -275,4 +279,71 @@ func TestConcurrentConflictsUnderRace(t *testing.T) {
 		t.Error("no transaction ever committed")
 	}
 	t.Logf("committed=%d aborted=%d", committed, aborted)
+}
+
+func TestTryInvalidateWait(t *testing.T) {
+	table := mvccTable(t, 1)
+	tm := NewTransactionManager()
+	chunk := table.Chunks()[0]
+
+	// Zero maxWait keeps the immediate-abort behavior.
+	holder := tm.New()
+	if err := holder.TryInvalidate(chunk, 0); err != nil {
+		t.Fatal(err)
+	}
+	blocked := tm.New()
+	if err := blocked.TryInvalidateWait(context.Background(), chunk, 0, 0); !errors.Is(err, ErrConflict) {
+		t.Fatalf("maxWait=0 got %v, want conflict", err)
+	}
+
+	// With a wait budget, the claim succeeds once the holder rolls back;
+	// the observer sees exactly one begin/end pair around the blocked span.
+	var began, ended atomic.Int64
+	blocked.SetWaitObserver(func(kind observe.WaitKind) func() {
+		if kind != observe.WaitMVCCConflict {
+			t.Errorf("wait kind = %v", kind)
+		}
+		began.Add(1)
+		return func() { ended.Add(1) }
+	})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		holder.Rollback()
+	}()
+	if err := blocked.TryInvalidateWait(context.Background(), chunk, 0, time.Second); err != nil {
+		t.Fatalf("wait-retry got %v, want success", err)
+	}
+	if began.Load() != 1 || ended.Load() != 1 {
+		t.Fatalf("observer begin/end = %d/%d, want 1/1", began.Load(), ended.Load())
+	}
+	blocked.Rollback()
+
+	// A dead context cuts the wait short with the context's error.
+	holder2 := tm.New()
+	if err := holder2.TryInvalidate(chunk, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	victim := tm.New()
+	if err := victim.TryInvalidateWait(ctx, chunk, 0, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled wait got %v, want context.Canceled", err)
+	}
+
+	// A committed delete is permanent: the waiter gives up immediately with
+	// the conflict instead of burning its whole budget.
+	if err := holder2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	late := tm.New()
+	start := time.Now()
+	if err := late.TryInvalidateWait(context.Background(), chunk, 0, time.Minute); !errors.Is(err, ErrConflict) {
+		t.Fatalf("deleted-row wait got %v, want conflict", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("waiter did not short-circuit on permanent invalidation")
+	}
 }

@@ -9,7 +9,8 @@ import (
 )
 
 // DebugServer is the optional diagnostics HTTP endpoint: Go's pprof
-// handlers plus a JSON dump of the metrics registry. It is disabled by
+// handlers, a Prometheus/OpenMetrics exposition at /metrics, and the flat
+// JSON dump of the metrics registry at /metrics.json. It is disabled by
 // default and enabled through the engine config's DebugAddr (wired to the
 // hyrise-server -debug-addr flag).
 type DebugServer struct {
@@ -23,6 +24,10 @@ type DebugServer struct {
 func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = reg.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		snap := reg.Snapshot()
 		obj := make(map[string]int64, len(snap))
 		for _, m := range snap {

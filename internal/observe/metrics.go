@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -99,8 +100,12 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // Max returns the largest observed value.
 func (h *Histogram) Max() int64 { return h.max.Load() }
 
-// Quantile approximates the q-quantile (0 < q <= 1) as the upper edge of
-// the bucket containing the target rank.
+// Quantile approximates the q-quantile (0 < q <= 1) as the geometric
+// midpoint of the power-of-two bucket containing the target rank, clamped so
+// it never exceeds the observed maximum. The midpoint sqrt(lo*hi) bounds the
+// relative error by sqrt(2) in either direction, where the bucket's upper
+// edge over-reported by up to 2x (a p50 of all-equal values landed at the
+// edge, not the value).
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -120,16 +125,37 @@ func (h *Histogram) Quantile(q float64) int64 {
 			if b == 0 {
 				return 0
 			}
-			// The bucket's upper edge, clamped so a quantile never
-			// exceeds the actually observed maximum.
-			edge := (int64(1) << uint(b)) - 1
-			if m := h.max.Load(); edge > m {
+			// Bucket b covers [2^(b-1), 2^b); its geometric midpoint is
+			// 2^(b-1) * sqrt(2).
+			lo := int64(1) << uint(b-1)
+			mid := int64(math.Round(float64(lo) * math.Sqrt2))
+			if m := h.max.Load(); mid > m {
 				return m
 			}
-			return edge
+			return mid
 		}
 	}
 	return h.max.Load()
+}
+
+// bucketUpperEdge is the inclusive upper bound of bucket b: the largest
+// value v with bits.Len64(v) == b (0 for the zero bucket). The Prometheus
+// exporter uses it as the cumulative "le" boundary.
+func bucketUpperEdge(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (int64(1) << uint(b)) - 1
+}
+
+// BucketCounts returns the per-bucket observation counts (index i holds
+// values v with bits.Len64(v) == i; index 0 holds zeros).
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
 }
 
 // Metric is one row of a registry snapshot.
@@ -207,7 +233,8 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {
 }
 
 // Get looks a single value up by name (counters, gauges, and funcs; for
-// histograms use the expanded snapshot names).
+// histograms use the expanded snapshot names, e.g. "query_duration_us_p95").
+// Bare histogram names do not resolve — a histogram has no single value.
 func (r *Registry) Get(name string) (int64, bool) {
 	r.mu.RLock()
 	c, cok := r.counters[name]
@@ -221,6 +248,28 @@ func (r *Registry) Get(name string) (int64, bool) {
 		return g.Value(), true
 	case fok:
 		return fn(), true
+	}
+	// Expanded histogram names: strip the last _suffix and look the base up.
+	if i := strings.LastIndexByte(name, '_'); i > 0 {
+		r.mu.RLock()
+		h, hok := r.histograms[name[:i]]
+		r.mu.RUnlock()
+		if hok {
+			switch name[i:] {
+			case "_count":
+				return h.Count(), true
+			case "_sum":
+				return h.Sum(), true
+			case "_max":
+				return h.Max(), true
+			case "_p50":
+				return h.Quantile(0.50), true
+			case "_p95":
+				return h.Quantile(0.95), true
+			case "_p99":
+				return h.Quantile(0.99), true
+			}
+		}
 	}
 	return 0, false
 }

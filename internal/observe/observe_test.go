@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -63,11 +64,13 @@ func TestHistogram(t *testing.T) {
 	if got := h.Max(); got != 1000 {
 		t.Fatalf("Max() = %d, want 1000", got)
 	}
-	if got := h.Quantile(0.5); got < 3 || got > 7 {
-		t.Fatalf("Quantile(0.5) = %d, want the bucket edge covering 3", got)
+	// Geometric bucket midpoints: rank 3 lands in [2,4) -> round(2*sqrt2)=3;
+	// rank 6 lands in [512,1024) -> round(512*sqrt2)=724.
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("Quantile(0.5) = %d, want 3", got)
 	}
-	if got := h.Quantile(0.99); got < 1000 {
-		t.Fatalf("Quantile(0.99) = %d, want >= 1000", got)
+	if got := h.Quantile(0.99); got != 724 {
+		t.Fatalf("Quantile(0.99) = %d, want 724", got)
 	}
 }
 
@@ -189,7 +192,7 @@ func TestDebugServer(t *testing.T) {
 	}
 	defer d.Close()
 
-	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", d.Addr()))
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics.json", d.Addr()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +200,26 @@ func TestDebugServer(t *testing.T) {
 	resp.Body.Close()
 	var m map[string]int64
 	if err := json.Unmarshal(body, &m); err != nil {
-		t.Fatalf("metrics response not JSON: %v\n%s", err, body)
+		t.Fatalf("metrics.json response not JSON: %v\n%s", err, body)
 	}
 	if m["hits"] != 11 {
 		t.Fatalf("hits = %d, want 11", m["hits"])
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/metrics", d.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Fatalf("/metrics content type = %q, want openmetrics", ct)
+	}
+	if !strings.Contains(string(om), "hyrise_hits_total 11") {
+		t.Fatalf("/metrics missing counter sample:\n%s", om)
+	}
+	if err := LintOpenMetrics(string(om)); err != nil {
+		t.Fatalf("/metrics exposition fails lint: %v\n%s", err, om)
 	}
 
 	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", d.Addr()))

@@ -1,0 +1,113 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus / OpenMetrics text exposition of the metrics registry. Every
+// metric name is prefixed with "hyrise_" and sanitized to the Prometheus
+// charset (dots become underscores: wait.wal_sync_ns -> hyrise_wait_wal_sync_ns).
+// Counters expose a single _total sample; gauges (including pull-style func
+// metrics) a plain sample; histograms expose real cumulative power-of-two
+// buckets — the structure the JSON snapshot at /metrics.json discards.
+
+// promName sanitizes a registry metric name into the Prometheus charset
+// [a-zA-Z0-9_:] with the hyrise_ prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("hyrise_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics renders the registry in OpenMetrics text format,
+// terminated by the mandatory "# EOF" line.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	type family struct {
+		name  string
+		typ   string
+		write func(io.Writer, string) error
+	}
+	var fams []family
+
+	r.mu.RLock()
+	for name, c := range r.counters {
+		v := c.Value()
+		fams = append(fams, family{promName(name), "counter", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s_total %d\n", n, v)
+			return err
+		}})
+	}
+	for name, g := range r.gauges {
+		v := g.Value()
+		fams = append(fams, family{promName(name), "gauge", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+			return err
+		}})
+	}
+	for name, h := range r.histograms {
+		count, sum, buckets := h.Count(), h.Sum(), h.BucketCounts()
+		fams = append(fams, family{promName(name), "histogram", func(w io.Writer, n string) error {
+			// Emit cumulative buckets up to the highest non-empty one; the
+			// +Inf bucket always closes the series with the total count.
+			top := -1
+			for i, c := range buckets {
+				if c > 0 {
+					top = i
+				}
+			}
+			var cum int64
+			for i := 0; i <= top; i++ {
+				cum += buckets[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, bucketUpperEdge(i), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n", n, sum); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", n, count)
+			return err
+		}})
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for name, fn := range r.funcs {
+		funcs[name] = fn
+	}
+	r.mu.RUnlock()
+	// Pull-style metrics evaluate outside the registry lock (they may read
+	// other locked components) and export as gauges.
+	for name, fn := range funcs {
+		v := fn()
+		fams = append(fams, family{promName(name), "gauge", func(w io.Writer, n string) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+			return err
+		}})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		if err := f.write(w, f.name); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

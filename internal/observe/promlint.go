@@ -1,0 +1,264 @@
+package observe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintOpenMetrics validates a text exposition against the subset of the
+// OpenMetrics format the exporter emits — and that Prometheus scrapers
+// require: legal metric/label name charsets, every sample belonging to a
+// declared # TYPE family with the correct suffix for its type, histogram
+// bucket series that are cumulative (monotone non-decreasing) and closed by
+// an le="+Inf" bucket matching _count, and the terminating # EOF line. CI
+// runs it against a live hyrise-server scrape.
+func LintOpenMetrics(text string) error {
+	lines := strings.Split(text, "\n")
+	// Trailing newline yields one empty last element; anything else is junk.
+	if len(lines) == 0 || lines[len(lines)-1] != "" {
+		return fmt.Errorf("promlint: exposition must end with a newline")
+	}
+	lines = lines[:len(lines)-1]
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		return fmt.Errorf("promlint: missing terminating # EOF line")
+	}
+
+	type familyState struct {
+		name string
+		typ  string
+		// histogram bucket state
+		bucketPrev   int64
+		bucketPrevLe float64
+		bucketCount  int
+		sawInf       bool
+		infValue     int64
+		count        int64
+		sawCount     bool
+	}
+	seen := map[string]bool{}
+	var fam *familyState
+
+	closeFamily := func() error {
+		if fam == nil || fam.typ != "histogram" {
+			return nil
+		}
+		if !fam.sawInf {
+			return fmt.Errorf("promlint: histogram %s has no le=\"+Inf\" bucket", fam.name)
+		}
+		if fam.sawCount && fam.infValue != fam.count {
+			return fmt.Errorf("promlint: histogram %s: +Inf bucket %d != _count %d", fam.name, fam.infValue, fam.count)
+		}
+		return nil
+	}
+
+	for i, line := range lines[:len(lines)-1] {
+		lineNo := i + 1
+		if line == "" {
+			return fmt.Errorf("promlint: line %d: empty line before # EOF", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return fmt.Errorf("promlint: line %d: bad comment %q", lineNo, line)
+			}
+			if fields[1] != "TYPE" {
+				continue // HELP/UNIT comments are allowed, unchecked
+			}
+			if len(fields) != 4 {
+				return fmt.Errorf("promlint: line %d: bad TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[2], fields[3]
+			if !validMetricName(name) {
+				return fmt.Errorf("promlint: line %d: illegal metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped", "info", "stateset":
+			default:
+				return fmt.Errorf("promlint: line %d: unknown metric type %q", lineNo, typ)
+			}
+			if seen[name] {
+				return fmt.Errorf("promlint: line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			seen[name] = true
+			if err := closeFamily(); err != nil {
+				return err
+			}
+			fam = &familyState{name: name, typ: typ}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("promlint: line %d: %v", lineNo, err)
+		}
+		if fam == nil {
+			return fmt.Errorf("promlint: line %d: sample %q before any # TYPE line", lineNo, name)
+		}
+		suffix, ok := strings.CutPrefix(name, fam.name)
+		if !ok {
+			return fmt.Errorf("promlint: line %d: sample %q does not belong to family %q", lineNo, name, fam.name)
+		}
+		switch fam.typ {
+		case "counter":
+			if suffix != "_total" && suffix != "_created" {
+				return fmt.Errorf("promlint: line %d: counter sample %q must use the _total suffix", lineNo, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("promlint: line %d: counter %q is negative", lineNo, name)
+			}
+		case "gauge", "untyped":
+			if suffix != "" {
+				return fmt.Errorf("promlint: line %d: %s sample %q has unexpected suffix %q", lineNo, fam.typ, name, suffix)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("promlint: line %d: bucket without le label", lineNo)
+				}
+				v := int64(value)
+				if le == "+Inf" {
+					fam.sawInf = true
+					fam.infValue = v
+					if fam.bucketCount > 0 && v < fam.bucketPrev {
+						return fmt.Errorf("promlint: line %d: histogram %s +Inf bucket %d below previous %d", lineNo, fam.name, v, fam.bucketPrev)
+					}
+				} else {
+					f, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("promlint: line %d: bad le value %q", lineNo, le)
+					}
+					if fam.sawInf {
+						return fmt.Errorf("promlint: line %d: bucket after +Inf in %s", lineNo, fam.name)
+					}
+					if fam.bucketCount > 0 {
+						if f <= fam.bucketPrevLe {
+							return fmt.Errorf("promlint: line %d: histogram %s le %g not increasing (prev %g)", lineNo, fam.name, f, fam.bucketPrevLe)
+						}
+						if v < fam.bucketPrev {
+							return fmt.Errorf("promlint: line %d: histogram %s bucket %d not cumulative (prev %d)", lineNo, fam.name, v, fam.bucketPrev)
+						}
+					}
+					fam.bucketPrev = v
+					fam.bucketPrevLe = f
+					fam.bucketCount++
+				}
+			case "_sum":
+			case "_count":
+				fam.count = int64(value)
+				fam.sawCount = true
+			default:
+				return fmt.Errorf("promlint: line %d: histogram sample %q has illegal suffix %q", lineNo, name, suffix)
+			}
+		}
+	}
+	return closeFamily()
+}
+
+// validMetricName checks the Prometheus metric name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		letter := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks the label name charset [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		letter := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits one exposition line into metric name, labels, and value.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("illegal metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabels(rest[1:end]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			ln := pair[:eq]
+			lv := pair[eq+1:]
+			if !validLabelName(ln) {
+				return "", nil, 0, fmt.Errorf("illegal label name %q", ln)
+			}
+			unq, uerr := strconv.Unquote(lv)
+			if uerr != nil {
+				return "", nil, 0, fmt.Errorf("label value %s not quoted: %v", lv, uerr)
+			}
+			labels[ln] = unq
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// OpenMetrics allows an optional timestamp after the value.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "+Inf" || rest == "-Inf" || rest == "NaN" {
+		return name, labels, 0, nil
+	}
+	v, perr := strconv.ParseFloat(rest, 64)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package observe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetricsPassesLint is the round trip: a populated registry's
+// exposition must pass the same checker CI runs against a live scrape.
+func TestWriteOpenMetricsPassesLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("statements_executed").Add(12)
+	r.Counter("operator.join.build_ns").Add(12345) // dots sanitize to _
+	r.Gauge("scheduler_queue_depth").Set(3)
+	r.RegisterFunc("plan_cache_size", func() int64 { return 9 })
+	h := r.Histogram("query_duration_us")
+	for _, v := range []int64{0, 1, 3, 900, 70_000} {
+		h.Observe(v)
+	}
+	r.Histogram("wait.wal_sync_ns") // empty histogram must still be valid
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := LintOpenMetrics(text); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, text)
+	}
+
+	for _, want := range []string{
+		"# TYPE hyrise_statements_executed counter",
+		"hyrise_statements_executed_total 12",
+		"# TYPE hyrise_operator_join_build_ns counter",
+		"hyrise_scheduler_queue_depth 3",
+		"hyrise_plan_cache_size 9",
+		"# TYPE hyrise_query_duration_us histogram",
+		`hyrise_query_duration_us_bucket{le="0"} 1`,
+		`hyrise_query_duration_us_bucket{le="+Inf"} 5`,
+		"hyrise_query_duration_us_sum 70904",
+		"hyrise_query_duration_us_count 5",
+		`hyrise_wait_wal_sync_ns_bucket{le="+Inf"} 0`,
+		"# EOF",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Buckets must be cumulative: the le="1" bucket counts the 0 and the 1.
+	if !strings.Contains(text, `hyrise_query_duration_us_bucket{le="1"} 2`) {
+		t.Fatalf("cumulative bucket wrong:\n%s", text)
+	}
+}
+
+func TestLintOpenMetricsRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF": "# TYPE a counter\na_total 1\n",
+		"bad name charset": "# TYPE hyrise-bad counter\nhyrise-bad_total 1\n# EOF\n",
+		"counter without _total": "# TYPE a counter\na 1\n# EOF\n",
+		"sample before TYPE": "a 1\n# EOF\n",
+		"foreign sample": "# TYPE a gauge\nb 1\n# EOF\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n# EOF\n",
+		"non-increasing le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n# EOF\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# EOF\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n# EOF\n",
+		"duplicate TYPE": "# TYPE a counter\na_total 1\n# TYPE a counter\na_total 1\n# EOF\n",
+		"bad value": "# TYPE a gauge\na xyz\n# EOF\n",
+		"bad label name": "# TYPE h histogram\nh_bucket{0le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n# EOF\n",
+	}
+	for name, text := range cases {
+		if err := LintOpenMetrics(text); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", name, text)
+		}
+	}
+
+	// A well-formed exposition with labels and a trailing timestamp passes.
+	good := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n" +
+		"# TYPE g gauge\ng 5 1700000000\n# EOF\n"
+	if err := LintOpenMetrics(good); err != nil {
+		t.Fatalf("lint rejected valid exposition: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package observe
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StatementStats aggregates execution statistics per normalized statement
+// (pg_stat_statements-style), keyed by the SQL layer's fingerprint. The map
+// is guarded by an RWMutex taken once per statement; the per-entry counters
+// and the latency histogram are atomic, so concurrent sessions recording the
+// same fingerprint never serialize on more than the map read lock.
+type StatementStats struct {
+	mu      sync.RWMutex
+	entries map[string]*statementEntry
+	max     int
+	dropped atomic.Int64
+}
+
+type statementEntry struct {
+	calls     atomic.Int64
+	errors    atomic.Int64
+	rows      atomic.Int64
+	cacheHits atomic.Int64
+	latencyNS Histogram
+}
+
+// DefaultStatementStatsSize bounds the number of distinct fingerprints kept.
+const DefaultStatementStatsSize = 4096
+
+// NewStatementStats creates a store capped at max distinct fingerprints
+// (<= 0 selects DefaultStatementStatsSize). When full, new fingerprints are
+// counted as dropped instead of evicting hot entries.
+func NewStatementStats(max int) *StatementStats {
+	if max <= 0 {
+		max = DefaultStatementStatsSize
+	}
+	return &StatementStats{entries: make(map[string]*statementEntry), max: max}
+}
+
+// Record files one execution under the fingerprint.
+func (s *StatementStats) Record(fingerprint string, d time.Duration, rows int64, cacheHit, failed bool) {
+	if s == nil || fingerprint == "" {
+		return
+	}
+	s.mu.RLock()
+	e := s.entries[fingerprint]
+	s.mu.RUnlock()
+	if e == nil {
+		s.mu.Lock()
+		e = s.entries[fingerprint]
+		if e == nil {
+			if len(s.entries) >= s.max {
+				s.mu.Unlock()
+				s.dropped.Add(1)
+				return
+			}
+			e = &statementEntry{}
+			s.entries[fingerprint] = e
+		}
+		s.mu.Unlock()
+	}
+	e.calls.Add(1)
+	if failed {
+		e.errors.Add(1)
+	}
+	if rows > 0 {
+		e.rows.Add(rows)
+	}
+	if cacheHit {
+		e.cacheHits.Add(1)
+	}
+	e.latencyNS.Observe(d.Nanoseconds())
+}
+
+// StatementStatRow is one fingerprint's aggregate in a snapshot.
+type StatementStatRow struct {
+	Query     string
+	Calls     int64
+	Errors    int64
+	Rows      int64
+	CacheHits int64
+	TotalNS   int64
+	MeanNS    int64
+	P95NS     int64
+	MaxNS     int64
+}
+
+// Snapshot returns all fingerprints ordered by total time descending (the
+// statements dominating the workload first), ties broken by query text.
+func (s *StatementStats) Snapshot() []StatementStatRow {
+	s.mu.RLock()
+	out := make([]StatementStatRow, 0, len(s.entries))
+	for q, e := range s.entries {
+		row := StatementStatRow{
+			Query:     q,
+			Calls:     e.calls.Load(),
+			Errors:    e.errors.Load(),
+			Rows:      e.rows.Load(),
+			CacheHits: e.cacheHits.Load(),
+			TotalNS:   e.latencyNS.Sum(),
+			P95NS:     e.latencyNS.Quantile(0.95),
+			MaxNS:     e.latencyNS.Max(),
+		}
+		if n := e.latencyNS.Count(); n > 0 {
+			row.MeanNS = row.TotalNS / n
+		}
+		out = append(out, row)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNS != out[j].TotalNS {
+			return out[i].TotalNS > out[j].TotalNS
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}
+
+// Dropped returns how many executions were discarded because the store was
+// at capacity with an unseen fingerprint.
+func (s *StatementStats) Dropped() int64 { return s.dropped.Load() }
+
+// Len returns the number of distinct fingerprints tracked.
+func (s *StatementStats) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}

@@ -52,11 +52,21 @@ type Trace struct {
 	// completion — by a client cancel request or a statement timeout.
 	Canceled bool
 
-	mu     sync.Mutex
-	stages []StageSpan
-	ops    map[any]*OpSpan
-	seq    int64
-	total  time.Duration
+	mu       sync.Mutex
+	stages   []StageSpan
+	ops      map[any]*OpSpan
+	seq      int64
+	total    time.Duration
+	waits    [NumWaitKinds]WaitSpan
+	planText string
+}
+
+// WaitSpan aggregates the time one statement spent blocked on one wait kind
+// (scheduler queue, WAL sync, MVCC conflict, admission).
+type WaitSpan struct {
+	Kind     WaitKind
+	Count    int64
+	Duration time.Duration
 }
 
 // NewTrace starts an empty trace for the statement.
@@ -101,6 +111,64 @@ func (t *Trace) Total() time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
+}
+
+// AddWait accumulates one wait event onto the trace. Durations clamp to at
+// least 1ns so every recorded wait is visible. Safe for concurrent use —
+// scheduler workers record queue waits while the session goroutine records
+// commit waits.
+func (t *Trace) AddWait(kind WaitKind, d time.Duration) {
+	if kind >= NumWaitKinds {
+		return
+	}
+	if d <= 0 {
+		d = 1
+	}
+	t.mu.Lock()
+	t.waits[kind].Kind = kind
+	t.waits[kind].Count++
+	t.waits[kind].Duration += d
+	t.mu.Unlock()
+}
+
+// Waits returns the non-empty wait spans in kind order.
+func (t *Trace) Waits() []WaitSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []WaitSpan
+	for k := WaitKind(0); k < NumWaitKinds; k++ {
+		if t.waits[k].Count > 0 {
+			out = append(out, t.waits[k])
+		}
+	}
+	return out
+}
+
+// WaitTotal sums all wait spans.
+func (t *Trace) WaitTotal() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for k := WaitKind(0); k < NumWaitKinds; k++ {
+		sum += t.waits[k].Duration
+	}
+	return sum
+}
+
+// SetPlanText attaches the annotated plan rendering (EXPLAIN ANALYZE tree)
+// to the trace, so sinks like the slow-query log can show where the time
+// went after the fact.
+func (t *Trace) SetPlanText(s string) {
+	t.mu.Lock()
+	t.planText = s
+	t.mu.Unlock()
+}
+
+// PlanText returns the annotated plan rendering ("" when not captured).
+func (t *Trace) PlanText() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.planText
 }
 
 // RecordOp accumulates one operator execution under the given key (the
@@ -199,5 +267,20 @@ func (t *Trace) String() string {
 		fmt.Fprintf(&b, " | total=%v (stages %.1f%%)", total, 100*float64(sum)/float64(total))
 	}
 	b.WriteByte('\n')
+	if ws := t.Waits(); len(ws) > 0 {
+		b.WriteString(FormatWaits(ws))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatWaits renders wait spans as a single "waits:" line (shared by
+// Trace.String and the EXPLAIN ANALYZE output).
+func FormatWaits(ws []WaitSpan) string {
+	var b strings.Builder
+	b.WriteString("waits:")
+	for _, w := range ws {
+		fmt.Fprintf(&b, " %s=%v(%d)", w.Kind, w.Duration, w.Count)
+	}
 	return b.String()
 }

@@ -134,7 +134,7 @@ func (op *Delete) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 				return nil, err
 			}
 		}
-		if err := ctx.Tx.TryInvalidate(r.chunk, r.offset); err != nil {
+		if err := ctx.Tx.TryInvalidateWait(ctx.Ctx, r.chunk, r.offset, ctx.LockWait); err != nil {
 			return nil, err
 		}
 		ctx.Tx.LogDelete(op.TableName, r.rid)
@@ -221,7 +221,7 @@ func (op *Update) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table
 			for i, id := range setIdx {
 				vals[id] = coerce(newVals[i].ValueAt(row), table.ColumnDefinitions()[id].Type)
 			}
-			if err := ctx.Tx.TryInvalidate(ref.chunk, ref.offset); err != nil {
+			if err := ctx.Tx.TryInvalidateWait(ctx.Ctx, ref.chunk, ref.offset, ctx.LockWait); err != nil {
 				return nil, err
 			}
 			ctx.Tx.LogDelete(op.TableName, ref.rid)

@@ -104,6 +104,16 @@ type ExecContext struct {
 	// Metrics, when non-nil, receives global execution counters (rows
 	// scanned, operators executed).
 	Metrics *observe.ExecMetrics
+	// Waits, when non-nil, receives the statement's blocked time per wait
+	// kind (scheduler queue, WAL sync, MVCC conflict) — the global side of
+	// wait-event attribution; the same nanoseconds land on Trace.
+	Waits *observe.WaitMetrics
+	// Active, when non-nil, is the statement's entry in the live-query
+	// registry; operators flip its state and bump its row counter.
+	Active *observe.ActiveQuery
+	// LockWait bounds how long DML waits for a contended row claim before
+	// aborting with a conflict. Zero preserves immediate aborts.
+	LockWait time.Duration
 	// Parallel tunes the radix join and parallel aggregate merge paths.
 	Parallel ParallelOptions
 
@@ -142,7 +152,19 @@ func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 		Params:        params,
 		DynamicAccess: ctx.DynamicAccess,
 		Metrics:       ctx.Metrics,
+		Waits:         ctx.Waits,
+		LockWait:      ctx.LockWait,
 		Parallel:      ctx.Parallel,
+	}
+}
+
+// noteWait files blocked nanoseconds into the global wait histograms and the
+// statement trace — the same measurement feeds both, so EXPLAIN ANALYZE and
+// the wait.* metrics always agree. Safe to call from concurrent tasks.
+func (ctx *ExecContext) noteWait(kind observe.WaitKind, ns int64) {
+	ctx.Waits.Observe(kind, ns)
+	if tr := ctx.Trace; tr != nil {
+		tr.AddWait(kind, time.Duration(ns))
 	}
 }
 
@@ -161,7 +183,20 @@ func (ctx *ExecContext) runJobs(jobs []func()) {
 		}
 		return
 	}
-	scheduler.RunJobsContext(ctx.Ctx, ctx.Scheduler, jobs)
+	if len(jobs) == 1 {
+		if ctx.Err() == nil {
+			jobs[0]()
+		}
+		return
+	}
+	g := scheduler.NewTaskGroup(ctx.Ctx, ctx.Scheduler)
+	if ctx.Waits != nil || ctx.Trace != nil {
+		g.SetQueueWaitObserver(func(ns int64) { ctx.noteWait(observe.WaitSchedulerQueue, ns) })
+	}
+	for _, j := range jobs {
+		g.Go("", j)
+	}
+	_ = g.Wait()
 }
 
 // noteJoinPhases files a hash join's partition count and build/probe wall
@@ -250,6 +285,7 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 				mu.Unlock()
 				return
 			}
+			ctx.Active.SetState(observe.StateExecuting)
 			var t0 time.Time
 			if ctx.Trace != nil {
 				t0 = time.Now()
@@ -284,6 +320,9 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 		if ctx.Ctx != nil {
 			t.WithContext(ctx.Ctx)
 		}
+		if ctx.Waits != nil || ctx.Trace != nil {
+			t.ObserveQueueWait(func(ns int64) { ctx.noteWait(observe.WaitSchedulerQueue, ns) })
+		}
 		taskOf[op] = t
 		for _, in := range inputs {
 			t.DependsOn(build(in, depth+1))
@@ -297,6 +336,7 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 	if sched == nil {
 		sched = scheduler.NewImmediateScheduler()
 	}
+	ctx.Active.SetState(observe.StateQueued)
 	sched.Schedule(tasks...)
 	rootTask.Wait()
 
@@ -312,6 +352,9 @@ func Execute(root Operator, ctx *ExecContext) (*storage.Table, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+	}
+	if out := results[root]; out != nil {
+		ctx.Active.AddRows(int64(out.RowCount()))
 	}
 	return results[root], nil
 }

@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetaActiveQueriesAndCancelQuery drives the live-query registry end to
+// end through SQL: a second session sees the in-flight join in
+// meta_active_queries, cancels it with SELECT cancel_query(id), and the
+// victim statement dies with a cancellation error.
+func TestMetaActiveQueriesAndCancelQuery(t *testing.T) {
+	e := NewEngine(DefaultConfig(), nil)
+	t.Cleanup(e.Close)
+	addBigTable(t, e, "big", 120_000, 1_000)
+	victim := e.NewSession()
+	observer := e.NewSession()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := victim.ExecuteOneContext(context.Background(), slowQuery)
+		errCh <- err
+	}()
+
+	var id int64 = -1
+	deadline := time.Now().Add(10 * time.Second)
+	for id < 0 && time.Now().Before(deadline) {
+		for _, r := range rows(t, observer, "SELECT id, session_id, state, sql FROM meta_active_queries") {
+			if !strings.Contains(r[3], "FROM big") {
+				continue
+			}
+			v, err := strconv.ParseInt(r[0], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id = v
+			if want := strconv.FormatInt(victim.ID(), 10); r[1] != want {
+				t.Errorf("session_id = %s, want %s", r[1], want)
+			}
+			if r[2] == "" {
+				t.Error("active query has empty state")
+			}
+		}
+		if id < 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if id < 0 {
+		t.Fatal("slow query never appeared in meta_active_queries")
+	}
+
+	got := rows(t, observer, fmt.Sprintf("SELECT cancel_query(%d)", id))
+	if len(got) != 1 || got[0][0] != "1" {
+		t.Fatalf("cancel_query(%d) = %v, want 1", id, got)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("canceled query returned no error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled query error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim query did not stop after cancel_query")
+	}
+
+	// A finished id is a no-op returning 0.
+	got = rows(t, observer, fmt.Sprintf("SELECT cancel_query(%d)", id))
+	if len(got) != 1 || got[0][0] != "0" {
+		t.Fatalf("cancel_query on finished id = %v, want 0", got)
+	}
+}
+
+// TestStatementStatsMetaTable checks the pg_stat_statements analog: literal
+// variants of a query merge into one fingerprint row with aggregated calls,
+// rows, and plan-cache hits, and failing statements count as errors.
+func TestStatementStatsMetaTable(t *testing.T) {
+	_, s := newObserveEngine(t, DefaultConfig(), 30)
+	mustExec(t, s, "SELECT * FROM obs WHERE id = 1")
+	mustExec(t, s, "SELECT * FROM obs WHERE id = 2")
+	mustExec(t, s, "SELECT * FROM obs WHERE id = 2")
+	if _, err := s.ExecuteOne("SELECT * FROM does_not_exist"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+
+	// Columns: query, calls, errors, rows, cache_hits, total_us, mean_us,
+	// p95_us, max_us.
+	var point, failed []string
+	for _, r := range rows(t, s, "SELECT * FROM meta_statement_stats") {
+		switch {
+		case strings.Contains(r[0], "obs WHERE id = ?"):
+			point = r
+		case strings.Contains(r[0], "does_not_exist"):
+			failed = r
+		}
+	}
+	if point == nil {
+		t.Fatal("no fingerprint row for the point query")
+	}
+	if point[1] != "3" {
+		t.Errorf("calls = %s, want 3 (literal variants must share one fingerprint)", point[1])
+	}
+	if point[2] != "0" {
+		t.Errorf("errors = %s, want 0", point[2])
+	}
+	if point[3] != "3" {
+		t.Errorf("rows = %s, want 3 (one row per call)", point[3])
+	}
+	hits, _ := strconv.ParseInt(point[4], 10, 64)
+	if hits < 1 {
+		t.Errorf("cache_hits = %s, want >= 1 (repeated exact text hits the plan cache)", point[4])
+	}
+	total, _ := strconv.ParseInt(point[5], 10, 64)
+	mean, _ := strconv.ParseInt(point[6], 10, 64)
+	if total < mean || mean < 0 {
+		t.Errorf("total_us = %d, mean_us = %d: total must dominate the mean", total, mean)
+	}
+	if failed == nil {
+		t.Fatal("no fingerprint row for the failing query")
+	}
+	if failed[1] != "1" || failed[2] != "1" {
+		t.Errorf("failing query calls/errors = %s/%s, want 1/1", failed[1], failed[2])
+	}
+}
+
+// TestActiveQueriesGoAPI covers the facade path: the registry empties once
+// statements finish, and canceling an unknown id reports false.
+func TestActiveQueriesGoAPI(t *testing.T) {
+	e, s := newObserveEngine(t, DefaultConfig(), 5)
+	mustExec(t, s, "SELECT * FROM obs WHERE id = 1")
+	if qs := e.ActiveQueries(); len(qs) != 0 {
+		t.Errorf("registry not empty after statements finished: %+v", qs)
+	}
+	if e.CancelQuery(999_999) {
+		t.Error("CancelQuery on unknown id reported true")
+	}
+	if len(e.StatementStats()) == 0 {
+		t.Error("statement stats empty after executing statements")
+	}
+}

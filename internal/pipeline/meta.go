@@ -19,6 +19,8 @@ func (e *Engine) registerMetaTables() {
 	e.sm.RegisterMetaTable("meta_tables", e.buildMetaTables)
 	e.sm.RegisterMetaTable("meta_segments", e.buildMetaSegments)
 	e.sm.RegisterMetaTable("meta_metrics", e.buildMetaMetrics)
+	e.sm.RegisterMetaTable("meta_active_queries", e.buildMetaActiveQueries)
+	e.sm.RegisterMetaTable("meta_statement_stats", e.buildMetaStatementStats)
 }
 
 // buildMetaTables snapshots one row per base table: schema shape and memory
@@ -118,6 +120,74 @@ func segmentEncodingName(seg storage.Segment) string {
 	default:
 		return "Unknown"
 	}
+}
+
+// buildMetaActiveQueries snapshots the live-query registry: one row per
+// in-flight statement, including the one reading the table. The id column
+// feeds SELECT cancel_query(id).
+func (e *Engine) buildMetaActiveQueries() (*storage.Table, error) {
+	defs := []storage.ColumnDefinition{
+		{Name: "id", Type: types.TypeInt64},
+		{Name: "session_id", Type: types.TypeInt64},
+		{Name: "backend_pid", Type: types.TypeInt64},
+		{Name: "state", Type: types.TypeString},
+		{Name: "elapsed_us", Type: types.TypeInt64},
+		{Name: "rows", Type: types.TypeInt64},
+		{Name: "sql", Type: types.TypeString},
+		{Name: "fingerprint", Type: types.TypeString},
+	}
+	out := storage.NewTable("meta_active_queries", defs, 0, false)
+	for _, q := range e.active.Snapshot() {
+		if _, err := out.AppendRow([]types.Value{
+			types.Int(q.ID),
+			types.Int(q.SessionID),
+			types.Int(q.BackendPID),
+			types.Str(q.State.String()),
+			types.Int(q.Elapsed.Microseconds()),
+			types.Int(q.Rows),
+			types.Str(q.SQL),
+			types.Str(q.Fingerprint),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
+}
+
+// buildMetaStatementStats snapshots the per-fingerprint statement
+// statistics, ordered by total time descending — the pg_stat_statements
+// analog.
+func (e *Engine) buildMetaStatementStats() (*storage.Table, error) {
+	defs := []storage.ColumnDefinition{
+		{Name: "query", Type: types.TypeString},
+		{Name: "calls", Type: types.TypeInt64},
+		{Name: "errors", Type: types.TypeInt64},
+		{Name: "rows", Type: types.TypeInt64},
+		{Name: "cache_hits", Type: types.TypeInt64},
+		{Name: "total_us", Type: types.TypeInt64},
+		{Name: "mean_us", Type: types.TypeInt64},
+		{Name: "p95_us", Type: types.TypeInt64},
+		{Name: "max_us", Type: types.TypeInt64},
+	}
+	out := storage.NewTable("meta_statement_stats", defs, 0, false)
+	for _, row := range e.stmtStats.Snapshot() {
+		if _, err := out.AppendRow([]types.Value{
+			types.Str(row.Query),
+			types.Int(row.Calls),
+			types.Int(row.Errors),
+			types.Int(row.Rows),
+			types.Int(row.CacheHits),
+			types.Int(row.TotalNS / 1000),
+			types.Int(row.MeanNS / 1000),
+			types.Int(row.P95NS / 1000),
+			types.Int(row.MaxNS / 1000),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
 }
 
 // buildMetaMetrics snapshots the metrics registry: one row per metric, with

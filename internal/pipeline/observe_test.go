@@ -187,6 +187,9 @@ func TestStatementMetrics(t *testing.T) {
 	if v, ok := e.Metrics().Get("query_duration_us"); ok && v != 0 {
 		t.Errorf("histogram base name should not resolve via Get, got %d", v)
 	}
+	if v, ok := e.Metrics().Get("query_duration_us_count"); !ok || v == 0 {
+		t.Errorf("expanded histogram name must resolve via Get: value=%d ok=%v", v, ok)
+	}
 	hist := map[string]int64{}
 	for _, m := range e.Metrics().Snapshot() {
 		if strings.HasPrefix(m.Name, "query_duration_us") {

@@ -17,6 +17,7 @@ import (
 
 	"hyrise/internal/cache"
 	"hyrise/internal/concurrency"
+	"hyrise/internal/expression"
 	"hyrise/internal/fusion"
 	"hyrise/internal/lqp"
 	"hyrise/internal/observe"
@@ -68,9 +69,15 @@ type Config struct {
 	// timeout. Explicit per-call contexts (ExecuteContext) compose with it —
 	// whichever deadline fires first wins.
 	StatementTimeout time.Duration
+	// LockWaitTimeout bounds how long DML blocks on a row claimed by another
+	// live transaction before aborting with a conflict. 0 (the default)
+	// preserves immediate first-writer-wins aborts; the blocked time is
+	// attributed to the mvcc_conflict wait event either way.
+	LockWaitTimeout time.Duration
 	// DebugAddr, when non-empty, serves a diagnostics HTTP endpoint on the
-	// address: net/http/pprof plus a JSON dump of the metrics registry at
-	// /metrics (port 0 picks a free port; see Engine.DebugAddr).
+	// address: net/http/pprof, an OpenMetrics exposition at /metrics, and a
+	// JSON dump of the metrics registry at /metrics.json (port 0 picks a
+	// free port; see Engine.DebugAddr).
 	DebugAddr string
 	// DataDir, when non-empty, makes the engine durable: on startup the
 	// latest snapshot in the directory is restored and the write-ahead log
@@ -130,6 +137,10 @@ type Engine struct {
 	debug     *observe.DebugServer
 	persist   *persistence.Manager
 
+	active     *observe.ActiveRegistry
+	stmtStats  *observe.StatementStats
+	sessionIDs atomic.Int64
+
 	mu       sync.Mutex
 	prepared map[string]string // name -> SQL text
 }
@@ -141,8 +152,10 @@ type engineMetrics struct {
 	errors     *observe.Counter
 	canceled   *observe.Counter
 	timedOut   *observe.Counter
+	cancels    *observe.Counter
 	queryUS    *observe.Histogram
 	exec       *observe.ExecMetrics
+	waits      *observe.WaitMetrics
 }
 
 type cachedPlan struct {
@@ -226,9 +239,16 @@ func (e *Engine) initObservability() {
 		errors:     r.Counter("statement_errors"),
 		canceled:   r.Counter("engine.statements.canceled"),
 		timedOut:   r.Counter("engine.statements.timed_out"),
+		cancels:    r.Counter("engine.cancel_query_calls"),
 		queryUS:    r.Histogram("query_duration_us"),
 		exec:       observe.NewExecMetrics(r),
+		waits:      observe.NewWaitMetrics(r),
 	}
+	e.active = observe.NewActiveRegistry()
+	e.stmtStats = observe.NewStatementStats(0)
+	r.RegisterFunc("active_queries", func() int64 { return int64(e.active.Len()) })
+	r.RegisterFunc("statement_stats_entries", func() int64 { return int64(e.stmtStats.Len()) })
+	r.RegisterFunc("statement_stats_dropped", func() int64 { return e.stmtStats.Dropped() })
 	r.RegisterFunc("plan_cache_hits", func() int64 { h, _ := e.planCache.Stats(); return h })
 	r.RegisterFunc("plan_cache_misses", func() int64 { _, m := e.planCache.Stats(); return m })
 	r.RegisterFunc("plan_cache_size", func() int64 { return int64(e.planCache.Len()) })
@@ -337,12 +357,96 @@ func (t Timing) Total() time.Duration {
 // Session is one client connection: it tracks the open explicit
 // transaction. Sessions are not safe for concurrent use; engines are.
 type Session struct {
-	engine *Engine
-	tx     *concurrency.TransactionContext
+	engine     *Engine
+	tx         *concurrency.TransactionContext
+	id         int64
+	backendPID int64
+	activeQ    *observe.ActiveQuery
+	lastTrace  *observe.Trace
 }
 
 // NewSession opens a session.
-func (e *Engine) NewSession() *Session { return &Session{engine: e} }
+func (e *Engine) NewSession() *Session {
+	return &Session{engine: e, id: e.sessionIDs.Add(1)}
+}
+
+// ID returns the engine-assigned session number (shown in
+// meta_active_queries).
+func (s *Session) ID() int64 { return s.id }
+
+// SetBackendPID records the wire protocol's backend process id so
+// meta_active_queries rows correlate with pg_cancel-style tooling.
+func (s *Session) SetBackendPID(pid int64) { s.backendPID = pid }
+
+// LastTrace returns the trace of the session's most recent planned
+// statement, or nil when tracing is off (no sink installed). The server's
+// slow-query log uses it to attach EXPLAIN ANALYZE output.
+func (s *Session) LastTrace() *observe.Trace { return s.lastTrace }
+
+// beginQuery registers the statement in the live-query registry and returns
+// a derived context that Engine.CancelQuery kills, plus a finish callback.
+// The active entry starts in the parsing state.
+func (s *Session) beginQuery(ctx context.Context, sql string) (context.Context, func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	trimmed := strings.TrimSpace(sql)
+	q, qctx := s.engine.active.Begin(ctx, s.id, s.backendPID, trimmed, sqlparser.Fingerprint(trimmed))
+	s.activeQ = q
+	return qctx, func() {
+		q.Finish()
+		s.activeQ = nil
+	}
+}
+
+// ActiveQueries snapshots the statements currently in flight across all
+// sessions (the meta_active_queries table is built from the same snapshot).
+func (e *Engine) ActiveQueries() []observe.ActiveQueryInfo { return e.active.Snapshot() }
+
+// CancelQuery cancels the in-flight statement with the given id (as listed
+// by ActiveQueries / meta_active_queries / SELECT cancel_query(id)). The
+// victim fails with SQLSTATE 57014 through the usual cancellation path. It
+// reports whether a statement with that id was found.
+func (e *Engine) CancelQuery(id int64) bool {
+	e.metrics.cancels.Inc()
+	return e.active.Cancel(id)
+}
+
+// StatementStats snapshots the per-fingerprint statement statistics (the
+// meta_statement_stats table is built from the same snapshot).
+func (e *Engine) StatementStats() []observe.StatementStatRow { return e.stmtStats.Snapshot() }
+
+// EnsureTraceSink turns statement tracing on with a no-op sink when none is
+// installed, so Session.LastTrace is populated without any other consumer
+// (the server's slow-query trace mode relies on it).
+func (e *Engine) EnsureTraceSink() {
+	if e.traceSink.Load() == nil {
+		e.SetTraceSink(func(*observe.Trace) {})
+	}
+}
+
+// waitObserver builds the begin/end pair the transaction layer fires around
+// blocked spans (WAL group-commit sync, MVCC conflict retries): the active
+// query flips to waiting for the duration, and the measured nanoseconds land
+// in the global wait histograms and — when tracing — on the statement trace,
+// so EXPLAIN ANALYZE and the wait.* metrics always agree.
+func (e *Engine) waitObserver(q *observe.ActiveQuery, trace *observe.Trace) func(observe.WaitKind) func() {
+	return func(kind observe.WaitKind) func() {
+		q.SetState(observe.StateWaiting)
+		start := time.Now()
+		return func() {
+			ns := time.Since(start).Nanoseconds()
+			if ns < 1 {
+				ns = 1
+			}
+			e.metrics.waits.Observe(kind, ns)
+			if trace != nil {
+				trace.AddWait(kind, time.Duration(ns))
+			}
+			q.SetState(observe.StateExecuting)
+		}
+	}
+}
 
 // InTransaction reports whether an explicit transaction is open.
 func (s *Session) InTransaction() bool { return s.tx != nil }
@@ -360,6 +464,8 @@ func (s *Session) Execute(sql string) ([]*Result, error) {
 // context.Canceled or context.DeadlineExceeded. Statements already
 // completed keep their results.
 func (s *Session) ExecuteContext(ctx context.Context, sql string) ([]*Result, error) {
+	ctx, finish := s.beginQuery(ctx, sql)
+	defer finish()
 	start := time.Now()
 	stmts, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -445,8 +551,48 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 		}
 		return &Result{Tag: "DROP TABLE"}, nil
 	default:
+		if arg, ok := cancelQueryCall(stmt); ok {
+			return s.execCancelQuery(arg)
+		}
 		return s.runPlanned(ctx, stmt, sqlText, cacheable)
 	}
+}
+
+// cancelQueryCall matches "SELECT cancel_query(<expr>)" — a FROM-less
+// single-item select of the cancel_query function. The parser treats unknown
+// functions as ordinary expressions, so the call is intercepted here, before
+// planning, and executed against the live-query registry.
+func cancelQueryCall(stmt sqlparser.Statement) (expression.Expression, bool) {
+	sel, ok := stmt.(*sqlparser.SelectStatement)
+	if !ok || len(sel.From) != 0 || len(sel.Items) != 1 || sel.Items[0].Star {
+		return nil, false
+	}
+	fc, ok := sel.Items[0].Expr.(*expression.FunctionCall)
+	if !ok || fc.Name != "cancel_query" || len(fc.Args) != 1 {
+		return nil, false
+	}
+	return fc.Args[0], true
+}
+
+// execCancelQuery evaluates the target query id and cancels it, returning a
+// one-row result: 1 when an in-flight statement was found and signaled, 0
+// otherwise (already finished, or never existed).
+func (s *Session) execCancelQuery(arg expression.Expression) (*Result, error) {
+	v, err := expression.Evaluate(arg, &expression.Context{N: 1})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: cancel_query: %w", err)
+	}
+	var hit int64
+	if s.engine.CancelQuery(v.ValueAt(0).I) {
+		hit = 1
+	}
+	defs := []storage.ColumnDefinition{{Name: "cancel_query", Type: types.TypeInt64}}
+	out := storage.NewTable("cancel_query", defs, 0, false)
+	if _, err := out.AppendRow([]types.Value{types.Int(hit)}); err != nil {
+		return nil, err
+	}
+	out.FinalizeLastChunk()
+	return &Result{Table: out, Columns: []string{"cancel_query"}, Tag: "SELECT"}, nil
 }
 
 func (s *Session) executeTransactionStatement(st *sqlparser.TransactionStatement) (*Result, error) {
@@ -464,6 +610,10 @@ func (s *Session) executeTransactionStatement(st *sqlparser.TransactionStatement
 		if s.tx == nil {
 			return nil, fmt.Errorf("pipeline: no transaction open")
 		}
+		// Re-point the wait observer at the COMMIT statement itself: the WAL
+		// group-commit sync blocks here, not in the statement that installed
+		// the observer last.
+		s.tx.SetWaitObserver(s.engine.waitObserver(s.activeQ, nil))
 		err := s.tx.Commit()
 		s.tx = nil
 		if err != nil {
@@ -523,10 +673,13 @@ func (s *Session) runPlanned(ctx context.Context, stmt sqlparser.Statement, sqlT
 	sink := engine.traceSink.Load()
 	if sink != nil {
 		trace = observe.NewTrace(strings.TrimSpace(sqlText))
+		s.lastTrace = trace
 	}
+	s.activeQ.SetState(observe.StatePlanning)
 	start := time.Now()
 	res, err := s.execPlanned(ctx, stmt, sqlText, cacheable, trace)
 	m.statements.Inc()
+	s.recordStatementStats(sqlText, time.Since(start), res, err)
 	if err != nil {
 		m.errors.Inc()
 		switch {
@@ -552,6 +705,29 @@ func (s *Session) runPlanned(ctx context.Context, stmt sqlparser.Statement, sqlT
 		(*sink)(trace)
 	}
 	return res, nil
+}
+
+// recordStatementStats files one planned-statement execution into the
+// pg_stat_statements-style aggregation, keyed by the normalized fingerprint.
+func (s *Session) recordStatementStats(sqlText string, d time.Duration, res *Result, err error) {
+	fp := ""
+	if s.activeQ != nil {
+		fp = s.activeQ.Fingerprint()
+	}
+	if fp == "" {
+		fp = sqlparser.Fingerprint(strings.TrimSpace(sqlText))
+	}
+	var rows int64
+	cacheHit := false
+	if res != nil {
+		cacheHit = res.Timing.CacheHit
+		if res.RowsAffected > 0 {
+			rows = res.RowsAffected
+		} else if res.Table != nil {
+			rows = int64(res.Table.RowCount())
+		}
+	}
+	s.engine.stmtStats.Record(fp, d, rows, cacheHit, err != nil)
 }
 
 // execPlanned resolves the physical plan (cache or fresh build) and runs it.
@@ -599,10 +775,16 @@ func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlpar
 	ectx.DynamicAccess = engine.cfg.DynamicAccess
 	ectx.Trace = trace
 	ectx.Metrics = engine.metrics.exec
+	ectx.Waits = engine.metrics.waits
+	ectx.Active = s.activeQ
+	ectx.LockWait = engine.cfg.LockWaitTimeout
 	ectx.Parallel = operators.ParallelOptions{
 		JoinStrategy:           engine.cfg.JoinStrategy,
 		JoinPartitions:         engine.cfg.JoinPartitions,
 		ParallelMergeThreshold: engine.cfg.ParallelMergeThreshold,
+	}
+	if tx != nil {
+		tx.SetWaitObserver(engine.waitObserver(s.activeQ, trace))
 	}
 	out, err := operators.Execute(plan.root, ectx)
 	timing.Execute = time.Since(execStart)
@@ -625,6 +807,9 @@ func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlpar
 		if err := tx.Commit(); err != nil {
 			return nil, err
 		}
+	}
+	if trace != nil {
+		trace.SetPlanText(operators.AnnotatedPlanString(plan.root, trace))
 	}
 
 	res := &Result{Table: out, Columns: plan.columns, Tag: tagOf(stmt), Timing: *timing}
@@ -745,8 +930,10 @@ func (s *Session) Explain(sql string) (*ExplainResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, finish := s.beginQuery(context.Background(), sql)
+	defer finish()
 	trace := observe.NewTrace(strings.TrimSpace(sql))
-	res, err := s.executePlan(context.Background(), plan, stmt, &timing, trace)
+	res, err := s.executePlan(ctx, plan, stmt, &timing, trace)
 	if err != nil {
 		return nil, err
 	}
@@ -766,6 +953,10 @@ func (s *Session) Explain(sql string) (*ExplainResult, error) {
 			100*float64(trace.StageTotal())/float64(total))
 	}
 	b.WriteByte('\n')
+	if ws := trace.Waits(); len(ws) > 0 {
+		b.WriteString(observe.FormatWaits(ws))
+		b.WriteByte('\n')
+	}
 	b.WriteString(operators.AnnotatedPlanString(plan.root, trace))
 	return &ExplainResult{Text: b.String(), Trace: trace, Result: res}, nil
 }
@@ -794,6 +985,8 @@ func (s *Session) ExecutePrepared(name string, params []types.Value) (*Result, e
 	if !ok {
 		return nil, fmt.Errorf("pipeline: no prepared statement %q", name)
 	}
+	ctx, finish := s.beginQuery(context.Background(), sql)
+	defer finish()
 	stmt, err := sqlparser.ParseOne(sql)
 	if err != nil {
 		return nil, err
@@ -801,7 +994,7 @@ func (s *Session) ExecutePrepared(name string, params []types.Value) (*Result, e
 	if err := lqp.BindParameters(stmt, params); err != nil {
 		return nil, err
 	}
-	return s.runPlanned(context.Background(), stmt, "", false)
+	return s.runPlanned(ctx, stmt, sql, false)
 }
 
 // ExecuteWithParams parses the SQL, substitutes the '?' placeholders with
@@ -815,6 +1008,8 @@ func (s *Session) ExecuteWithParams(sql string, params []types.Value) (*Result, 
 // cancellation (the wire server threads the connection's statement context
 // through here for the extended query flow).
 func (s *Session) ExecuteWithParamsContext(ctx context.Context, sql string, params []types.Value) (*Result, error) {
+	ctx, finish := s.beginQuery(ctx, sql)
+	defer finish()
 	stmt, err := sqlparser.ParseOne(sql)
 	if err != nil {
 		return nil, err
@@ -822,7 +1017,7 @@ func (s *Session) ExecuteWithParamsContext(ctx context.Context, sql string, para
 	if err := lqp.BindParameters(stmt, params); err != nil {
 		return nil, err
 	}
-	return s.runPlanned(ctx, stmt, "", false)
+	return s.runPlanned(ctx, stmt, sql, false)
 }
 
 // RowStrings renders a result table as printable rows (boundary helper for

@@ -12,9 +12,10 @@ import (
 // Wait can never deadlock — exactly the contract operators rely on for
 // chunk-granular cancellation.
 type TaskGroup struct {
-	ctx   context.Context // nil = never canceled
-	sched Scheduler
-	tasks []*Task
+	ctx       context.Context // nil = never canceled
+	sched     Scheduler
+	tasks     []*Task
+	queueWait func(ns int64)
 }
 
 // NewTaskGroup creates a group over the scheduler. A nil scheduler (or a
@@ -24,12 +25,22 @@ func NewTaskGroup(ctx context.Context, s Scheduler) *TaskGroup {
 	return &TaskGroup{ctx: ctx, sched: s}
 }
 
+// SetQueueWaitObserver attaches a queue-wait callback to every task added
+// after the call (see Task.ObserveQueueWait). Must be set before Go. The
+// callback may fire from multiple workers concurrently.
+func (g *TaskGroup) SetQueueWaitObserver(fn func(ns int64)) {
+	g.queueWait = fn
+}
+
 // Go adds one closure to the group. Closures must not call Wait on their own
 // group. Go may be called multiple times before a single Wait.
 func (g *TaskGroup) Go(name string, fn func()) {
 	t := NewTask(fn).Named(name)
 	if g.ctx != nil {
 		t.WithContext(g.ctx)
+	}
+	if g.queueWait != nil {
+		t.ObserveQueueWait(g.queueWait)
 	}
 	g.tasks = append(g.tasks, t)
 }

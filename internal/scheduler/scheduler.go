@@ -23,6 +23,14 @@ type Task struct {
 	preferredNode int
 	ctx           context.Context // nil = never canceled
 
+	// enqueuedAt is stamped when the task is pushed onto a node queue and
+	// read by the worker that pops it — the queue mutex orders the two, so
+	// no atomic is needed. Zero for inline execution (no queue, no wait).
+	enqueuedAt time.Time
+	// onQueueWait, when set before scheduling, receives the nanoseconds the
+	// task sat in a queue between becoming ready and starting to run.
+	onQueueWait func(ns int64)
+
 	pending      atomic.Int32 // unfinished predecessors
 	mu           sync.Mutex
 	successors   []*Task
@@ -53,6 +61,15 @@ func (t *Task) WithContext(ctx context.Context) *Task { t.ctx = ctx; return t }
 
 // Name returns the diagnostic name.
 func (t *Task) Name() string { return t.name }
+
+// ObserveQueueWait registers a callback that receives the time (ns) the task
+// spent sitting in a scheduler queue before a worker picked it up. Inline
+// execution (immediate scheduler, Wait's helper path before the task was
+// queued) reports nothing. Must be set before the task is scheduled.
+func (t *Task) ObserveQueueWait(fn func(ns int64)) *Task {
+	t.onQueueWait = fn
+	return t
+}
 
 // SetPreferredNode pins the task to a scheduler node (e.g. close to the
 // data it processes). -1 means "any node".
@@ -108,6 +125,13 @@ func (t *Task) run() {
 			t.sched.noteTaskSkipped()
 		}
 	} else {
+		if t.onQueueWait != nil && !t.enqueuedAt.IsZero() {
+			ns := time.Since(t.enqueuedAt).Nanoseconds()
+			if ns < 1 {
+				ns = 1
+			}
+			t.onQueueWait(ns)
+		}
 		if t.fn != nil {
 			t.fn()
 		}
@@ -349,6 +373,11 @@ func (s *NodeQueueScheduler) enqueueReady(t *Task) {
 	node := t.preferredNode
 	if node < 0 || node >= len(s.queues) {
 		node = int(s.rr.Add(1)) % len(s.queues)
+	}
+	// Stamp for queue-wait attribution; the queue mutex on push/pop orders
+	// this write against the popping worker's read.
+	if t.onQueueWait != nil {
+		t.enqueuedAt = time.Now()
 	}
 	s.queueDepth.Add(1)
 	s.queues[node].push(t)

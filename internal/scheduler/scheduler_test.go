@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -237,5 +238,78 @@ func TestStatsCountTasks(t *testing.T) {
 				t.Fatalf("QueueDepth after drain = %d, want 0", got)
 			}
 		})
+	}
+}
+
+func TestQueueWaitObserver(t *testing.T) {
+	s := NewNodeQueueScheduler(1, 2)
+	defer s.Shutdown()
+
+	var waits atomic.Int64
+	var fired atomic.Int64
+	tasks := make([]*Task, 32)
+	for i := range tasks {
+		tasks[i] = NewTask(func() {}).ObserveQueueWait(func(ns int64) {
+			if ns < 1 {
+				t.Errorf("queue wait %d < 1ns", ns)
+			}
+			waits.Add(ns)
+			fired.Add(1)
+		})
+	}
+	s.Schedule(tasks...)
+	WaitAll(tasks)
+	if fired.Load() != 32 {
+		t.Fatalf("observer fired %d times, want 32", fired.Load())
+	}
+	if waits.Load() < 32 {
+		t.Fatalf("total queue wait %dns, want >= 32", waits.Load())
+	}
+
+	// Skipped tasks never report a wait: their closures don't run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	skipped := NewTask(func() {}).WithContext(ctx).ObserveQueueWait(func(ns int64) {
+		t.Error("skipped task reported a queue wait")
+	})
+	s.Schedule(skipped)
+	skipped.Wait()
+
+	// The immediate scheduler runs inline and records no queue time.
+	im := NewImmediateScheduler()
+	inline := NewTask(func() {}).ObserveQueueWait(func(ns int64) {
+		t.Error("immediate scheduler reported a queue wait")
+	})
+	im.Schedule(inline)
+	inline.Wait()
+}
+
+func TestTaskGroupQueueWaitObserver(t *testing.T) {
+	s := NewNodeQueueScheduler(1, 4)
+	defer s.Shutdown()
+
+	var fired atomic.Int64
+	g := NewTaskGroup(context.Background(), s)
+	g.SetQueueWaitObserver(func(ns int64) { fired.Add(1) })
+	for i := 0; i < 8; i++ {
+		g.Go("job", func() {})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 8 {
+		t.Fatalf("observer fired %d times, want 8", fired.Load())
+	}
+
+	// The inline fallback (nil scheduler) bypasses the queues entirely.
+	fired.Store(0)
+	gi := NewTaskGroup(context.Background(), nil)
+	gi.SetQueueWaitObserver(func(ns int64) { fired.Add(1) })
+	gi.Go("inline", func() {})
+	if err := gi.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 0 {
+		t.Fatalf("inline group fired observer %d times, want 0", fired.Load())
 	}
 }

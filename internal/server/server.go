@@ -39,6 +39,9 @@ type Server struct {
 	closed   bool
 	maxConns int // admission limit on concurrent sessions (0 = unlimited)
 	sessions int // sessions currently admitted
+	// admissionWait, when > 0, makes a saturated server poll for a freed
+	// session slot for up to this long before refusing with 53300.
+	admissionWait time.Duration
 
 	// backends maps the pid issued in BackendKeyData to the connection's
 	// cancel state, so a CancelRequest arriving on a fresh connection can be
@@ -49,15 +52,19 @@ type Server struct {
 
 	// Slow-query log (opt-in): statements slower than slowThreshold are
 	// written to slowW. slowMu serializes writes from connection goroutines.
+	// With slowTrace set, each slow statement's EXPLAIN ANALYZE trace is
+	// appended to the log entry.
 	slowMu        sync.Mutex
 	slowW         io.Writer
 	slowThreshold time.Duration
+	slowTrace     bool
 
-	connsTotal     *observe.Counter
-	connsActive    *observe.Gauge
-	connsRejected  *observe.Counter
-	cancelRequests *observe.Counter
-	slowQueries    *observe.Counter
+	connsTotal      *observe.Counter
+	connsActive     *observe.Gauge
+	connsRejected   *observe.Counter
+	cancelRequests  *observe.Counter
+	slowQueries     *observe.Counter
+	admissionWaitNS *observe.Histogram
 }
 
 // backend is the cancellation state of one admitted connection: the
@@ -97,11 +104,12 @@ func New(engine *pipeline.Engine) *Server {
 		engine:         engine,
 		conns:          make(map[net.Conn]struct{}),
 		backends:       make(map[uint32]*backend),
-		connsTotal:     r.Counter("server_connections_total"),
-		connsActive:    r.Gauge("server_connections_active"),
-		connsRejected:  r.Counter("server_connections_rejected"),
-		cancelRequests: r.Counter("server_cancel_requests"),
-		slowQueries:    r.Counter("server_slow_queries"),
+		connsTotal:      r.Counter("server_connections_total"),
+		connsActive:     r.Gauge("server_connections_active"),
+		connsRejected:   r.Counter("server_connections_rejected"),
+		cancelRequests:  r.Counter("server_cancel_requests"),
+		slowQueries:     r.Counter("server_slow_queries"),
+		admissionWaitNS: r.Histogram(observe.WaitAdmission.MetricName()),
 	}
 }
 
@@ -114,6 +122,16 @@ func New(engine *pipeline.Engine) *Server {
 func (s *Server) SetMaxConnections(n int) {
 	s.mu.Lock()
 	s.maxConns = n
+	s.mu.Unlock()
+}
+
+// SetAdmissionWait makes a saturated server wait up to d for a session slot
+// to free before refusing a new connection with 53300. The blocked time is
+// recorded in the wait.admission_ns histogram whether or not a slot opened.
+// 0 (the default) refuses immediately.
+func (s *Server) SetAdmissionWait(d time.Duration) {
+	s.mu.Lock()
+	s.admissionWait = d
 	s.mu.Unlock()
 }
 
@@ -130,8 +148,18 @@ func (s *Server) EnableSlowQueryLog(w io.Writer, threshold time.Duration) {
 	s.slowMu.Unlock()
 }
 
+// EnableSlowQueryTrace makes each slow-query log entry carry the
+// statement's full EXPLAIN ANALYZE trace (stage breakdown, wait events, and
+// the annotated plan). It turns engine tracing on when no sink is installed.
+func (s *Server) EnableSlowQueryTrace() {
+	s.engine.EnsureTraceSink()
+	s.slowMu.Lock()
+	s.slowTrace = true
+	s.slowMu.Unlock()
+}
+
 // noteQuery checks one executed statement against the slow-query log.
-func (s *Server) noteQuery(sql string, d time.Duration, rows int) {
+func (s *Server) noteQuery(session *pipeline.Session, sql string, d time.Duration, rows int) {
 	s.slowMu.Lock()
 	defer s.slowMu.Unlock()
 	if s.slowW == nil || d < s.slowThreshold {
@@ -140,6 +168,21 @@ func (s *Server) noteQuery(sql string, d time.Duration, rows int) {
 	s.slowQueries.Inc()
 	fmt.Fprintf(s.slowW, "slow query: duration=%v rows=%d sql=%s\n",
 		d, rows, strings.TrimSpace(sql))
+	if !s.slowTrace || session == nil {
+		return
+	}
+	tr := session.LastTrace()
+	if tr == nil {
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(tr.String(), "\n"), "\n") {
+		fmt.Fprintf(s.slowW, "  %s\n", line)
+	}
+	if plan := tr.PlanText(); plan != "" {
+		for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+			fmt.Fprintf(s.slowW, "  %s\n", line)
+		}
+	}
 }
 
 // Listen binds the address (e.g. "127.0.0.1:5432") and returns the actual
@@ -253,6 +296,7 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	session := s.engine.NewSession()
+	session.SetBackendPID(int64(b.pid))
 	// Prepared statements of the extended protocol, per connection.
 	prepared := map[string]string{}
 	portals := map[string]boundPortal{}
@@ -382,8 +426,35 @@ func (s *Server) finishStartup(w *wire, b *backend) error {
 	return w.w.Flush()
 }
 
-// admit reserves a session slot; false means the server is full.
+// admit reserves a session slot; false means the server is full. With an
+// admission wait configured, a saturated server polls for a freed slot until
+// the wait budget runs out, recording the blocked time either way.
 func (s *Server) admit() bool {
+	if s.tryAdmit() {
+		return true
+	}
+	s.mu.Lock()
+	maxWait := s.admissionWait
+	s.mu.Unlock()
+	if maxWait <= 0 {
+		return false
+	}
+	start := time.Now()
+	deadline := start.Add(maxWait)
+	admitted := false
+	for time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		if s.tryAdmit() {
+			admitted = true
+			break
+		}
+	}
+	s.admissionWaitNS.Observe(time.Since(start).Nanoseconds())
+	return admitted
+}
+
+// tryAdmit attempts to reserve a session slot without waiting.
+func (s *Server) tryAdmit() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.maxConns > 0 && s.sessions >= s.maxConns {
@@ -462,7 +533,7 @@ func (s *Server) simpleQuery(w *wire, session *pipeline.Session, b *backend, sql
 		}
 		w.writeResult(res)
 	}
-	s.noteQuery(sql, time.Since(start), rows)
+	s.noteQuery(session, sql, time.Since(start), rows)
 	if err != nil {
 		w.writeErrorCode(sqlStateFor(err), err.Error())
 	}
@@ -487,7 +558,7 @@ func (s *Server) executePortal(w *wire, session *pipeline.Session, b *backend, p
 	if res.Table != nil {
 		rows = res.Table.RowCount()
 	}
-	s.noteQuery(p.sql, time.Since(start), rows)
+	s.noteQuery(session, p.sql, time.Since(start), rows)
 	w.writeResult(res)
 }
 

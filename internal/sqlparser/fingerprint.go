@@ -1,0 +1,91 @@
+package sqlparser
+
+import "strings"
+
+// Fingerprint normalizes a SQL statement for statement statistics
+// (pg_stat_statements-style): literals are stripped to '?', whitespace and
+// comments collapse, keywords upper-case and identifiers lower-case (the
+// lexer's canonical forms), and VALUES lists collapse so multi-row inserts
+// of any arity share one fingerprint. Unlexable input falls back to
+// whitespace-collapsed text, so every statement — even a syntactically
+// broken one — has a stable key.
+func Fingerprint(sql string) string {
+	toks, err := lex(sql)
+	if err != nil {
+		return strings.Join(strings.Fields(sql), " ")
+	}
+	// Render tokens with literals replaced by '?'.
+	parts := make([]string, 0, len(toks))
+	for _, tok := range toks {
+		switch tok.kind {
+		case tokEOF:
+		case tokNumber, tokString:
+			parts = append(parts, "?")
+		default:
+			parts = append(parts, tok.text)
+		}
+	}
+	// Drop a trailing statement terminator; "q" and "q;" are the same query.
+	for len(parts) > 0 && parts[len(parts)-1] == ";" {
+		parts = parts[:len(parts)-1]
+	}
+	parts = collapsePlaceholderLists(parts)
+	return joinTokens(parts)
+}
+
+// collapsePlaceholderLists rewrites "?, ?, ?" runs as a single "?" and then
+// "(?), (?)" tuple runs as a single "(?)", so INSERT ... VALUES (1,2),(3,4)
+// and VALUES (5,6) fingerprint identically.
+func collapsePlaceholderLists(parts []string) []string {
+	// Pass 1: ? (, ?)* -> ?
+	out := parts[:0]
+	for i := 0; i < len(parts); i++ {
+		out = append(out, parts[i])
+		if parts[i] == "?" {
+			for i+2 < len(parts) && parts[i+1] == "," && parts[i+2] == "?" {
+				i += 2
+			}
+		}
+	}
+	// Pass 2: (?) (, (?))* -> (?)
+	parts = out
+	out = parts[:0]
+	isTuple := func(i int) bool {
+		return i+2 < len(parts) && parts[i] == "(" && parts[i+1] == "?" && parts[i+2] == ")"
+	}
+	for i := 0; i < len(parts); i++ {
+		out = append(out, parts[i])
+		if isTuple(i) {
+			out = append(out, parts[i+1], parts[i+2])
+			i += 2
+			for i+4 < len(parts) && parts[i+1] == "," && isTuple(i+2) {
+				i += 4
+			}
+		}
+	}
+	return out
+}
+
+// joinTokens renders the token texts with SQL-ish spacing: no space before
+// commas, semicolons, closing parens, or dots, and none after opening parens
+// or dots.
+func joinTokens(parts []string) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			prev := parts[i-1]
+			switch {
+			case p == "," || p == ")" || p == ";" || p == ".":
+			case prev == "(" || prev == ".":
+			case p == "(" && prev != "" && (prev[0] == '_' || (prev[0] >= 'a' && prev[0] <= 'z')):
+				// Function-call style: identifiers are lower-cased by the
+				// lexer, keywords upper-cased, so "count(" keeps its paren
+				// tight while "IN (" gets a space.
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(p)
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package sqlparser
+
+import "testing"
+
+func TestFingerprint(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"SELECT a FROM t WHERE a = 3", "SELECT a FROM t WHERE a = ?"},
+		{"select A from T where a = 42;", "SELECT a FROM t WHERE a = ?"},
+		{"SELECT  a\n FROM t -- comment\n WHERE a = 'x'", "SELECT a FROM t WHERE a = ?"},
+		{"SELECT a, b FROM t WHERE s = 'it''s' AND f > 1.5e3", "SELECT a, b FROM t WHERE s = ? AND f > ?"},
+		{"INSERT INTO t VALUES (1, 'a'), (2, 'b')", "INSERT INTO t VALUES (?)"},
+		{"INSERT INTO t VALUES (3, 'c')", "INSERT INTO t VALUES (?)"},
+		{"SELECT x.a FROM x WHERE a IN (1, 2, 3)", "SELECT x.a FROM x WHERE a IN (?)"},
+		{"UPDATE t SET a = 1, b = 'q' WHERE id = 9", "UPDATE t SET a = ?, b = ? WHERE id = ?"},
+		{"SELECT count(*) FROM t GROUP BY g", "SELECT count(*) FROM t GROUP BY g"},
+	}
+	for _, c := range cases {
+		if got := Fingerprint(c.in); got != c.want {
+			t.Errorf("Fingerprint(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+
+	// Same fingerprint for literal variants, different for shape variants.
+	a := Fingerprint("SELECT a FROM t WHERE a = 1")
+	b := Fingerprint("SELECT a FROM t WHERE a = 200")
+	c := Fingerprint("SELECT a FROM t WHERE b = 1")
+	if a != b {
+		t.Errorf("literal variants differ: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("distinct shapes collide: %q", a)
+	}
+
+	// Unlexable input still yields a stable whitespace-collapsed key.
+	if got := Fingerprint("SELECT  \t &bogus"); got != "SELECT &bogus" {
+		t.Errorf("fallback fingerprint = %q", got)
+	}
+	if Fingerprint("SELECT 'unterminated") == "" {
+		t.Error("fingerprint of broken SQL must be non-empty")
+	}
+}
