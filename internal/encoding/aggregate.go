@@ -1,0 +1,254 @@
+package encoding
+
+import (
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// SegmentAggregates holds the aggregate building blocks one encoded segment
+// can answer without materialization. SumFloat is accumulated in ascending
+// row order so results are bit-for-bit identical to the row-at-a-time
+// reference path (float addition is not associative).
+type SegmentAggregates struct {
+	// Rows is the segment length, NonNull the number of non-null rows.
+	Rows, NonNull int64
+	// SumInt is the exact integer sum (int64 columns only).
+	SumInt int64
+	// SumFloat mirrors the reference path's float64 accumulation. Only
+	// populated when requested (needFloatSum).
+	SumFloat float64
+	// Min/Max are the extreme non-null values (NullValue when none exist).
+	Min, Max types.Value
+}
+
+// AggregateEncoded computes COUNT/SUM/MIN/MAX building blocks directly on an
+// encoded segment. needSum requests the sums (numeric segments only);
+// needFloatSum additionally requests the row-order float64 accumulation
+// (needed for AVG and float outputs — skipping it lets integer COUNT/SUM run
+// without touching float math). ok=false means the segment type is not
+// supported and the caller must fall back to the materializing path.
+//
+// Cost: dictionary sums walk the attribute vector (integer codes only);
+// run-length visits runs; frame-of-reference COUNT and MIN/MAX are
+// O(blocks) via the per-block statistics, sums walk the codes.
+func AggregateEncoded(seg storage.Segment, needSum, needFloatSum bool) (SegmentAggregates, bool) {
+	switch s := seg.(type) {
+	case *DictionarySegment[int64]:
+		return aggregateDictInt(s, needSum, needFloatSum), true
+	case *DictionarySegment[float64]:
+		return aggregateDictFloat(s, needSum), true
+	case *DictionarySegment[string]:
+		if needSum {
+			return SegmentAggregates{}, false
+		}
+		return aggregateDictCount(s), true
+	case *RunLengthSegment[int64]:
+		return aggregateRLEInt(s, needSum, needFloatSum), true
+	case *RunLengthSegment[float64]:
+		return aggregateRLEFloat(s, needSum), true
+	case *RunLengthSegment[string]:
+		if needSum {
+			return SegmentAggregates{}, false
+		}
+		return aggregateRLECount(s), true
+	case *FrameOfReferenceSegment:
+		return aggregateFOR(s, needSum, needFloatSum), true
+	default:
+		return SegmentAggregates{}, false
+	}
+}
+
+func aggregateDictInt(s *DictionarySegment[int64], needSum, needFloatSum bool) SegmentAggregates {
+	out := SegmentAggregates{Rows: int64(s.Len()), Min: types.NullValue, Max: types.NullValue}
+	nullID := uint64(s.nullID)
+	n := s.av.Len()
+	forEachCode(s.av, n, func(id uint64) {
+		if id == nullID {
+			return
+		}
+		out.NonNull++
+		if needSum {
+			v := s.dict[id]
+			out.SumInt += v
+			if needFloatSum {
+				out.SumFloat += float64(v)
+			}
+		}
+	})
+	if mn, mx, ok := s.Bounds(); ok {
+		out.Min, out.Max = mn, mx
+	}
+	return out
+}
+
+func aggregateDictFloat(s *DictionarySegment[float64], needSum bool) SegmentAggregates {
+	out := SegmentAggregates{Rows: int64(s.Len()), Min: types.NullValue, Max: types.NullValue}
+	nullID := uint64(s.nullID)
+	forEachCode(s.av, s.av.Len(), func(id uint64) {
+		if id == nullID {
+			return
+		}
+		out.NonNull++
+		if needSum {
+			out.SumFloat += s.dict[id]
+		}
+	})
+	if mn, mx, ok := s.Bounds(); ok {
+		out.Min, out.Max = mn, mx
+	}
+	return out
+}
+
+func aggregateDictCount(s *DictionarySegment[string]) SegmentAggregates {
+	out := SegmentAggregates{Rows: int64(s.Len()), Min: types.NullValue, Max: types.NullValue}
+	nullID := uint64(s.nullID)
+	forEachCode(s.av, s.av.Len(), func(id uint64) {
+		if id != nullID {
+			out.NonNull++
+		}
+	})
+	if mn, mx, ok := s.Bounds(); ok {
+		out.Min, out.Max = mn, mx
+	}
+	return out
+}
+
+// forEachCode visits all codes in row order, resolving the vector type once.
+func forEachCode(av UintVector, n int, f func(code uint64)) {
+	switch v := av.(type) {
+	case *FixedWidthVector[uint8]:
+		for _, c := range v.data {
+			f(uint64(c))
+		}
+	case *FixedWidthVector[uint16]:
+		for _, c := range v.data {
+			f(uint64(c))
+		}
+	case *FixedWidthVector[uint32]:
+		for _, c := range v.data {
+			f(uint64(c))
+		}
+	case *FixedWidthVector[uint64]:
+		for _, c := range v.data {
+			f(c)
+		}
+	case *BP128Vector:
+		var buf [bp128BlockSize]uint64
+		for base := 0; base < n; base += bp128BlockSize {
+			for _, c := range v.DecodeRange(base, min(base+bp128BlockSize, n), buf[:0]) {
+				f(c)
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			f(av.Get(i))
+		}
+	}
+}
+
+func aggregateRLEInt(s *RunLengthSegment[int64], needSum, needFloatSum bool) SegmentAggregates {
+	out := SegmentAggregates{Rows: int64(s.n), Min: types.NullValue, Max: types.NullValue}
+	s.ForEachRun(func(first, last types.ChunkOffset, v int64, null bool) {
+		if null {
+			return
+		}
+		runLen := int64(last-first) + 1
+		out.NonNull += runLen
+		if needSum {
+			out.SumInt += v * runLen
+			if needFloatSum {
+				// Repeat the addition per row: float accumulation must match
+				// the row-at-a-time reference bit for bit.
+				fv := float64(v)
+				for i := int64(0); i < runLen; i++ {
+					out.SumFloat += fv
+				}
+			}
+		}
+	})
+	if mn, mx, ok := s.Bounds(); ok {
+		out.Min, out.Max = mn, mx
+	}
+	return out
+}
+
+func aggregateRLEFloat(s *RunLengthSegment[float64], needSum bool) SegmentAggregates {
+	out := SegmentAggregates{Rows: int64(s.n), Min: types.NullValue, Max: types.NullValue}
+	s.ForEachRun(func(first, last types.ChunkOffset, v float64, null bool) {
+		if null {
+			return
+		}
+		runLen := int64(last-first) + 1
+		out.NonNull += runLen
+		if needSum {
+			for i := int64(0); i < runLen; i++ {
+				out.SumFloat += v
+			}
+		}
+	})
+	if mn, mx, ok := s.Bounds(); ok {
+		out.Min, out.Max = mn, mx
+	}
+	return out
+}
+
+func aggregateRLECount(s *RunLengthSegment[string]) SegmentAggregates {
+	out := SegmentAggregates{Rows: int64(s.n), Min: types.NullValue, Max: types.NullValue}
+	s.ForEachRun(func(first, last types.ChunkOffset, _ string, null bool) {
+		if !null {
+			out.NonNull += int64(last-first) + 1
+		}
+	})
+	if mn, mx, ok := s.Bounds(); ok {
+		out.Min, out.Max = mn, mx
+	}
+	return out
+}
+
+func aggregateFOR(s *FrameOfReferenceSegment, needSum, needFloatSum bool) SegmentAggregates {
+	out := SegmentAggregates{Rows: int64(s.n), Min: types.NullValue, Max: types.NullValue}
+	for _, c := range s.blockNonNull {
+		out.NonNull += int64(c)
+	}
+	if mn, mx, ok := s.Bounds(); ok {
+		out.Min, out.Max = mn, mx
+	}
+	if !needSum || out.NonNull == 0 {
+		return out
+	}
+	switch ov := s.offsets.(type) {
+	case *FixedWidthVector[uint8]:
+		sumFORData(s, ov.data, needFloatSum, &out)
+	case *FixedWidthVector[uint16]:
+		sumFORData(s, ov.data, needFloatSum, &out)
+	case *FixedWidthVector[uint32]:
+		sumFORData(s, ov.data, needFloatSum, &out)
+	case *FixedWidthVector[uint64]:
+		sumFORData(s, ov.data, needFloatSum, &out)
+	default:
+		for i := 0; i < s.n; i++ {
+			if s.nulls != nil && s.nulls[i] {
+				continue
+			}
+			v := s.frames[i/forBlockSize] + int64(s.offsets.Get(i))
+			out.SumInt += v
+			if needFloatSum {
+				out.SumFloat += float64(v)
+			}
+		}
+	}
+	return out
+}
+
+func sumFORData[W uint8 | uint16 | uint32 | uint64](s *FrameOfReferenceSegment, data []W, needFloatSum bool, out *SegmentAggregates) {
+	for i, c := range data {
+		if s.nulls != nil && s.nulls[i] {
+			continue
+		}
+		v := s.frames[i/forBlockSize] + int64(uint64(c))
+		out.SumInt += v
+		if needFloatSum {
+			out.SumFloat += float64(v)
+		}
+	}
+}

@@ -74,6 +74,9 @@ func (s Spec) String() string {
 // EncodeSegment encodes the values of a segment with the given spec and
 // returns the new segment. Unencoded returns the input unchanged.
 // FrameOfReference on non-integer columns falls back to Dictionary.
+// Already-encoded segments are decoded and re-encoded, which is what lets
+// the encoding advisor migrate a segment toward the representation the
+// observed workload scans fastest.
 func EncodeSegment(seg storage.Segment, spec Spec) (storage.Segment, error) {
 	if spec.Encoding == Unencoded {
 		return seg, nil
@@ -85,9 +88,59 @@ func EncodeSegment(seg storage.Segment, spec Spec) (storage.Segment, error) {
 		return encodeTyped(s.Values(), s.Nulls(), spec), nil
 	case *storage.ValueSegment[string]:
 		return encodeTyped(s.Values(), s.Nulls(), spec), nil
+	case *DictionarySegment[int64]:
+		vals, nulls := s.DecodeAll()
+		return encodeTyped(vals, nulls, spec), nil
+	case *DictionarySegment[float64]:
+		vals, nulls := s.DecodeAll()
+		return encodeTyped(vals, nulls, spec), nil
+	case *DictionarySegment[string]:
+		vals, nulls := s.DecodeAll()
+		return encodeTyped(vals, nulls, spec), nil
+	case *RunLengthSegment[int64]:
+		vals, nulls := s.DecodeAll()
+		return encodeTyped(vals, nulls, spec), nil
+	case *RunLengthSegment[float64]:
+		vals, nulls := s.DecodeAll()
+		return encodeTyped(vals, nulls, spec), nil
+	case *RunLengthSegment[string]:
+		vals, nulls := s.DecodeAll()
+		return encodeTyped(vals, nulls, spec), nil
+	case *FrameOfReferenceSegment:
+		vals, nulls := s.DecodeAll()
+		return encodeTyped(vals, nulls, spec), nil
 	default:
-		return nil, fmt.Errorf("encoding: cannot encode segment of type %T (re-encoding not supported)", seg)
+		return nil, fmt.Errorf("encoding: cannot encode segment of type %T", seg)
 	}
+}
+
+// SpecOf reports the encoding spec a segment currently uses (Unencoded for
+// value segments; ok=false for reference and unknown segment types). The
+// advisor uses it to skip re-encoding segments already in the target shape.
+func SpecOf(seg storage.Segment) (Spec, bool) {
+	switch s := seg.(type) {
+	case *storage.ValueSegment[int64], *storage.ValueSegment[float64], *storage.ValueSegment[string]:
+		return Spec{Encoding: Unencoded}, true
+	case *DictionarySegment[int64]:
+		return Spec{Encoding: Dictionary, Compression: compressionOf(s.av)}, true
+	case *DictionarySegment[float64]:
+		return Spec{Encoding: Dictionary, Compression: compressionOf(s.av)}, true
+	case *DictionarySegment[string]:
+		return Spec{Encoding: Dictionary, Compression: compressionOf(s.av)}, true
+	case *RunLengthSegment[int64], *RunLengthSegment[float64], *RunLengthSegment[string]:
+		return Spec{Encoding: RunLength}, true
+	case *FrameOfReferenceSegment:
+		return Spec{Encoding: FrameOfReference, Compression: compressionOf(s.offsets)}, true
+	default:
+		return Spec{}, false
+	}
+}
+
+func compressionOf(v UintVector) VectorCompressionType {
+	if _, ok := v.(*BP128Vector); ok {
+		return BitPacked128
+	}
+	return FixedSizeByteAligned
 }
 
 func encodeTyped[T types.Ordered](values []T, nulls []bool, spec Spec) storage.Segment {

@@ -18,6 +18,14 @@ type FrameOfReferenceSegment struct {
 	offsets UintVector
 	nulls   []bool // nil when no NULLs exist
 	n       int
+
+	// Derived per-block statistics for the encoded scan path: the largest
+	// offset code in each block (frame+blockMax is the block's true maximum,
+	// because the minimum non-null code is 0 by construction) and the number
+	// of non-null rows (0 marks the all-null blocks whose frame is
+	// meaningless). Recomputed on deserialization.
+	blockMax     []uint64
+	blockNonNull []int32
 }
 
 // EncodeFrameOfReference builds a FOR segment. nulls may be nil. NULL rows
@@ -57,7 +65,36 @@ func EncodeFrameOfReference(values []int64, nulls []bool, compression VectorComp
 		copy(s.nulls, nulls)
 	}
 	s.offsets = CompressUints(codes, compression)
+	s.initBlockStats(codes)
 	return s
+}
+
+// initBlockStats computes the per-block maxima and non-null counts from the
+// raw codes. NULL rows store code 0, which can never exceed a block's true
+// maximum (codes are unsigned and the minimum non-null code is 0), so the
+// plain maximum over all codes equals the maximum over non-null codes
+// whenever the block has any.
+func (s *FrameOfReferenceSegment) initBlockStats(codes []uint64) {
+	nBlocks := len(s.frames)
+	s.blockMax = make([]uint64, nBlocks)
+	s.blockNonNull = make([]int32, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		lo := b * forBlockSize
+		hi := min(lo+forBlockSize, s.n)
+		var bmax uint64
+		var nonNull int32
+		for i := lo; i < hi; i++ {
+			if s.nulls != nil && s.nulls[i] {
+				continue
+			}
+			nonNull++
+			if codes[i] > bmax {
+				bmax = codes[i]
+			}
+		}
+		s.blockMax[b] = bmax
+		s.blockNonNull[b] = nonNull
+	}
 }
 
 // Frames exposes the per-block minima.

@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"hyrise/internal/storage"
@@ -70,6 +71,9 @@ func (s *DictionarySegment[T]) Matches(lo, hi ValueID, dst []types.ChunkOffset) 
 	}
 	switch av := s.av.(type) {
 	case *FixedWidthVector[uint8]:
+		if hi-lo == 1 && lo <= 0xFF {
+			return matchEqBytes(av.data, uint8(lo), dst)
+		}
 		return matchRange(av.data, uint64(lo), uint64(hi), dst)
 	case *FixedWidthVector[uint16]:
 		return matchRange(av.data, uint64(lo), uint64(hi), dst)
@@ -78,10 +82,14 @@ func (s *DictionarySegment[T]) Matches(lo, hi ValueID, dst []types.ChunkOffset) 
 	case *FixedWidthVector[uint64]:
 		return matchRange(av.data, uint64(lo), uint64(hi), dst)
 	case *BP128Vector:
+		var buf [bp128BlockSize]uint64
 		n := av.Len()
-		for i := 0; i < n; i++ {
-			if id := av.GetFast(i); uint64(lo) <= id && id < uint64(hi) {
-				dst = append(dst, types.ChunkOffset(i))
+		for base := 0; base < n; base += bp128BlockSize {
+			codes := av.DecodeRange(base, min(base+bp128BlockSize, n), buf[:0])
+			for j, id := range codes {
+				if uint64(lo) <= id && id < uint64(hi) {
+					dst = append(dst, types.ChunkOffset(base+j))
+				}
 			}
 		}
 		return dst
@@ -94,6 +102,39 @@ func (s *DictionarySegment[T]) Matches(lo, hi ValueID, dst []types.ChunkOffset) 
 		}
 		return dst
 	}
+}
+
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
+
+// matchEqBytes finds the positions equal to target in a byte-wide attribute
+// vector, eight codes per step: XOR against the broadcast target turns
+// matches into zero bytes, and the Mycroft zero-byte test skips clean words
+// with three ALU ops — the scalar analog of the SIMD scans the paper
+// benchmarks. Single-value id ranges (equality probes, IS NULL) hit this.
+func matchEqBytes(data []uint8, target uint8, dst []types.ChunkOffset) []types.ChunkOffset {
+	pattern := swarOnes * uint64(target)
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		v := w ^ pattern
+		if (v-swarOnes) & ^v & swarHighs == 0 {
+			continue // no byte of this word matches
+		}
+		for j := i; j < i+8; j++ {
+			if data[j] == target {
+				dst = append(dst, types.ChunkOffset(j))
+			}
+		}
+	}
+	for ; i < len(data); i++ {
+		if data[i] == target {
+			dst = append(dst, types.ChunkOffset(i))
+		}
+	}
+	return dst
 }
 
 func matchRange[W uint8 | uint16 | uint32 | uint64](data []W, lo, hi uint64, dst []types.ChunkOffset) []types.ChunkOffset {

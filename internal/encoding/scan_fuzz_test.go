@@ -1,0 +1,93 @@
+package encoding
+
+import (
+	"testing"
+
+	"hyrise/internal/types"
+)
+
+// FuzzEncodedScan fuzzes every encoded scan path against the independent
+// row-at-a-time reference from the differential harness. The raw bytes are
+// the column: each byte carries a small signed value (lots of duplicates and
+// runs, the shapes encodings exploit) and a null marker; stride widens the
+// domain up to int64 overflow territory to stress the frame-of-reference
+// offset arithmetic. The predicate is decoded from (opByte, probe, lo, hi).
+func FuzzEncodedScan(f *testing.F) {
+	// Seeds follow TPC-H column shapes: l_quantity (1..50, duplicate-heavy),
+	// l_shipdate (dense day numbers), l_orderkey (sparse, wide stride),
+	// l_discount scaled (constant-ish runs), and an adversarial near-overflow
+	// stride with extreme probes.
+	quantity := make([]byte, 400)
+	for i := range quantity {
+		quantity[i] = byte(1 + (i*7)%50)
+	}
+	f.Add(quantity, uint8(0), int64(25), int64(10), int64(40), int64(1))
+	shipdate := make([]byte, 300)
+	for i := range shipdate {
+		shipdate[i] = byte(100 + (i/4)%28)
+	}
+	f.Add(shipdate, uint8(6), int64(110), int64(104), int64(118), int64(1))
+	orderkey := make([]byte, 256)
+	for i := range orderkey {
+		orderkey[i] = byte(i)
+	}
+	f.Add(orderkey, uint8(4), int64(32_000), int64(0), int64(64_000), int64(1000))
+	discount := make([]byte, 200)
+	for i := range discount {
+		discount[i] = byte(5 + (i/50)%3)
+	}
+	f.Add(discount, uint8(1), int64(6), int64(5), int64(7), int64(1))
+	f.Add([]byte{0x80, 0x7F, 0x00, 0xFF, 0x0F, 0x80, 0x7F}, uint8(3),
+		int64(-9_223_372_036_854_775_808), int64(-1), int64(9_223_372_036_854_775_807),
+		int64(72_057_594_037_927_936)) // stride 2^56: values straddle the int64 extremes
+
+	f.Fuzz(func(t *testing.T, data []byte, opByte uint8, probe, lo, hi, stride int64) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		values := make([]int64, len(data))
+		var nulls []bool
+		for i, b := range data {
+			values[i] = int64(int8(b)) * stride // wrapping on purpose
+			if b&0x0F == 0x0F {
+				if nulls == nil {
+					nulls = make([]bool, len(data))
+				}
+				nulls[i] = true
+			}
+		}
+		op := ScanOp(opByte % 9)
+		pred := ScanPredicate{Op: op}
+		switch op {
+		case ScanBetween:
+			pred.Lo, pred.Hi = types.Int(lo), types.Int(hi)
+		case ScanIsNull, ScanIsNotNull:
+		default:
+			pred.Value = types.Int(probe)
+		}
+		want := refScan(op, probe, lo, hi, values, nulls)
+		for name, seg := range buildScannables(values, nulls) {
+			got, _, ok := seg.ScanEncoded(pred, nil)
+			if !ok {
+				t.Fatalf("%s: refused int predicate %v on int64 column", name, op)
+			}
+			if got == nil {
+				got = []types.ChunkOffset{}
+			}
+			if !equalOffsets(got, want) {
+				t.Fatalf("%s: op=%v probe=%d lo=%d hi=%d stride=%d: got %d offsets, reference %d (got %v, want %v)",
+					name, op, probe, lo, hi, stride, len(got), len(want), clip(got), clip(want))
+			}
+		}
+		if got, ok := ScanValues(pred, values, nulls, nil); !ok {
+			t.Fatalf("ScanValues refused int predicate %v", op)
+		} else {
+			if got == nil {
+				got = []types.ChunkOffset{}
+			}
+			if !equalOffsets(got, want) {
+				t.Fatalf("ScanValues: op=%v: got %v, want %v", op, clip(got), clip(want))
+			}
+		}
+	})
+}

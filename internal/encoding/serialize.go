@@ -493,6 +493,19 @@ func DecodeSegment(buf []byte) (storage.Segment, []byte, error) {
 		s.frames = r.int64s()
 		s.nulls = r.bools()
 		s.offsets = r.uintVector()
+		// The per-block scan statistics are derived state and are not
+		// persisted; rebuild them from the decoded codes. Corrupt input can
+		// disagree on lengths — initBlockStats indexes codes by row, so only
+		// rebuild when the shape is consistent (the segment is rejected by
+		// the caller's validation otherwise).
+		wantBlocks := (s.n + forBlockSize - 1) / forBlockSize
+		if r.err == nil && s.offsets != nil && s.offsets.Len() == s.n &&
+			len(s.frames) == wantBlocks && (s.nulls == nil || len(s.nulls) == s.n) {
+			s.initBlockStats(s.offsets.DecodeAll(make([]uint64, 0, s.n)))
+		} else {
+			s.blockMax = make([]uint64, len(s.frames))
+			s.blockNonNull = make([]int32, len(s.frames))
+		}
 		seg = s
 	default:
 		r.fail(fmt.Sprintf("unknown segment tag %d", tag))

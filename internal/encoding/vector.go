@@ -225,6 +225,38 @@ func (v *BP128Vector) MemoryUsage() int64 {
 	return int64(cap(v.words))*8 + int64(cap(v.blockBits)) + int64(cap(v.blockStart))*4
 }
 
+// DecodeRange appends the codes at positions [lo, hi) to dst, unpacking
+// block-wise with the width and block bounds hoisted out of the inner loop.
+// Scans use it to process one block at a time through a reusable buffer
+// instead of paying the full GetFast dispatch per element.
+func (v *BP128Vector) DecodeRange(lo, hi int, dst []uint64) []uint64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	for i := lo; i < hi; {
+		b := i / bp128BlockSize
+		blockEnd := min((b+1)*bp128BlockSize, hi)
+		width := uint(v.blockBits[b])
+		m := mask(width)
+		start := int(v.blockStart[b])
+		bitPos := uint(i%bp128BlockSize) * width
+		for ; i < blockEnd; i++ {
+			word := start + int(bitPos/64)
+			shift := bitPos % 64
+			val := v.words[word] >> shift
+			if rem := 64 - shift; rem < width {
+				val |= v.words[word+1] << rem
+			}
+			dst = append(dst, val&m)
+			bitPos += width
+		}
+	}
+	return dst
+}
+
 // DecodeAll implements UintVector; unpacking proceeds block-wise with the
 // width hoisted out of the inner loop.
 func (v *BP128Vector) DecodeAll(dst []uint64) []uint64 {

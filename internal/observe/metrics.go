@@ -328,6 +328,24 @@ type ExecMetrics struct {
 	// AggregateMergeNS accumulates wall nanoseconds spent merging per-chunk
 	// partial aggregation maps.
 	AggregateMergeNS *Counter
+	// ScanSegmentsPruned counts segments skipped entirely because min-max
+	// statistics proved the predicate matches zero rows.
+	ScanSegmentsPruned *Counter
+	// ScanEncodedDictionary / ScanEncodedFOR / ScanEncodedRLE count segment
+	// scans answered directly on the encoded representation (value-id
+	// comparison, offset-domain block scan, per-run scan respectively).
+	ScanEncodedDictionary *Counter
+	ScanEncodedFOR        *Counter
+	ScanEncodedRLE        *Counter
+	// ScanSegmentsUnencoded counts segment scans over plain value segments
+	// (typed slice comparison; nothing to decode).
+	ScanSegmentsUnencoded *Counter
+	// ScanSegmentsDecoded counts segments materialized by the fallback scan
+	// path — the decode-then-evaluate route the encoded paths exist to avoid.
+	ScanSegmentsDecoded *Counter
+	// ScanEncodedAggregates counts chunks whose aggregation was answered
+	// directly on encoded segments (COUNT/SUM/MIN/MAX fast path).
+	ScanEncodedAggregates *Counter
 }
 
 // NewExecMetrics resolves the executor counters from a registry.
@@ -339,5 +357,13 @@ func NewExecMetrics(r *Registry) *ExecMetrics {
 		JoinBuildNS:       r.Counter("operator.join.build_ns"),
 		JoinProbeNS:       r.Counter("operator.join.probe_ns"),
 		AggregateMergeNS:  r.Counter("operator.aggregate.merge_ns"),
+
+		ScanSegmentsPruned:    r.Counter("scan.segments_pruned"),
+		ScanEncodedDictionary: r.Counter("scan.encoded_dictionary"),
+		ScanEncodedFOR:        r.Counter("scan.encoded_for"),
+		ScanEncodedRLE:        r.Counter("scan.encoded_rle"),
+		ScanSegmentsUnencoded: r.Counter("scan.segments_unencoded"),
+		ScanSegmentsDecoded:   r.Counter("scan.segments_decoded"),
+		ScanEncodedAggregates: r.Counter("scan.encoded_aggregates"),
 	}
 }

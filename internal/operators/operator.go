@@ -104,6 +104,10 @@ type ExecContext struct {
 	// Metrics, when non-nil, receives global execution counters (rows
 	// scanned, operators executed).
 	Metrics *observe.ExecMetrics
+	// Scans, when non-nil, receives per-column scan workload statistics
+	// (code-path hit rates, predicate shapes, selectivities) that the
+	// encoding advisor consumes to re-encode segments.
+	Scans *observe.ScanStats
 	// Waits, when non-nil, receives the statement's blocked time per wait
 	// kind (scheduler queue, WAL sync, MVCC conflict) — the global side of
 	// wait-event attribution; the same nanoseconds land on Trace.
@@ -152,6 +156,7 @@ func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 		Params:        params,
 		DynamicAccess: ctx.DynamicAccess,
 		Metrics:       ctx.Metrics,
+		Scans:         ctx.Scans,
 		Waits:         ctx.Waits,
 		LockWait:      ctx.LockWait,
 		Parallel:      ctx.Parallel,

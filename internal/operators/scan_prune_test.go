@@ -1,0 +1,125 @@
+package operators
+
+import (
+	"testing"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/expression"
+	"hyrise/internal/filter"
+	"hyrise/internal/observe"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// prunableTable builds an encoded table whose chunks hold disjoint id
+// ranges (chunk c covers [c*100, c*100+99]) with a min-max filter per
+// chunk, so range statistics can prove most chunks irrelevant.
+func prunableTable(t *testing.T, sm *storage.StorageManager, chunks int) *storage.Table {
+	t.Helper()
+	defs := []storage.ColumnDefinition{
+		{Name: "id", Type: types.TypeInt64},
+		{Name: "grp", Type: types.TypeInt64},
+	}
+	rows := make([][]types.Value, 0, chunks*100)
+	for i := 0; i < chunks*100; i++ {
+		rows = append(rows, []types.Value{types.Int(int64(i)), types.Int(int64(i % 5))})
+	}
+	table := makeTable(t, sm, "pruned", defs, 100, rows)
+	spec := encoding.Spec{Encoding: encoding.Dictionary, Compression: encoding.FixedSizeByteAligned}
+	if err := encoding.EncodeTable(table, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range table.Chunks() {
+		c.AddFilter(filter.NewMinMaxFilter(c.GetSegment(0), 0))
+	}
+	return table
+}
+
+func meteredCtx(t *testing.T, sm *storage.StorageManager) (*ExecContext, *observe.ExecMetrics, *observe.ScanStats) {
+	t.Helper()
+	ctx := newCtx(t, sm)
+	m := observe.NewExecMetrics(observe.NewRegistry())
+	s := observe.NewScanStats()
+	ctx.Metrics = m
+	ctx.Scans = s
+	return ctx, m, s
+}
+
+// TestTableScanMinMaxPrune is the regression test for the decode-despite-
+// zero-matches bug: when chunk statistics prove a segment holds no match,
+// the scan must not touch it — pruned segments record scan.segments_pruned
+// and never increment scan.segments_decoded.
+func TestTableScanMinMaxPrune(t *testing.T) {
+	sm := storage.NewStorageManager()
+	prunableTable(t, sm, 10)
+
+	t.Run("one chunk survives", func(t *testing.T) {
+		ctx, m, _ := meteredCtx(t, sm)
+		pred := eq(col(0), lit(types.Int(555)))
+		out, err := Execute(NewTableScan(&GetTable{TableName: "pruned"}, pred), ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.RowCount() != 1 {
+			t.Fatalf("got %d rows, want 1", out.RowCount())
+		}
+		if got := m.ScanSegmentsPruned.Value(); got != 9 {
+			t.Errorf("scan.segments_pruned = %d, want 9", got)
+		}
+		if got := m.ScanSegmentsDecoded.Value(); got != 0 {
+			t.Errorf("scan.segments_decoded = %d, want 0 (pruned scan must not materialize)", got)
+		}
+		if got := m.ScanEncodedDictionary.Value(); got != 1 {
+			t.Errorf("scan.encoded_dictionary = %d, want 1", got)
+		}
+	})
+
+	t.Run("statistics prove zero matches", func(t *testing.T) {
+		ctx, m, s := meteredCtx(t, sm)
+		pred := &expression.Between{Child: col(0), Lo: lit(types.Int(5000)), Hi: lit(types.Int(9000))}
+		out, err := Execute(NewTableScan(&GetTable{TableName: "pruned"}, pred), ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.RowCount() != 0 {
+			t.Fatalf("got %d rows, want 0", out.RowCount())
+		}
+		if got := m.ScanSegmentsPruned.Value(); got != 10 {
+			t.Errorf("scan.segments_pruned = %d, want 10", got)
+		}
+		if got := m.ScanSegmentsDecoded.Value(); got != 0 {
+			t.Errorf("scan.segments_decoded = %d, want 0", got)
+		}
+		snaps := s.Snapshot()
+		if len(snaps) != 1 || snaps[0].Table != "pruned" || snaps[0].Column != "id" {
+			t.Fatalf("scan stats snapshot = %+v, want one pruned.id row", snaps)
+		}
+		if snaps[0].Pruned != 10 || snaps[0].Ranges != 10 || snaps[0].RowsOut != 0 {
+			t.Errorf("snapshot %+v: want pruned=10 ranges=10 rowsOut=0", snaps[0])
+		}
+	})
+
+	t.Run("fallback predicate still decodes", func(t *testing.T) {
+		// Sanity check of the counter itself: a predicate the specialized
+		// paths cannot handle (id % arithmetic) materializes every encoded
+		// segment it reads, so segments_decoded must now move.
+		ctx, m, _ := meteredCtx(t, sm)
+		pred := eq(
+			&expression.Arithmetic{Op: expression.Mod, Left: col(0), Right: lit(types.Int(100))},
+			lit(types.Int(55)),
+		)
+		out, err := Execute(NewTableScan(&GetTable{TableName: "pruned"}, pred), ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.RowCount() != 10 {
+			t.Fatalf("got %d rows, want 10", out.RowCount())
+		}
+		if got := m.ScanSegmentsDecoded.Value(); got != 10 {
+			t.Errorf("scan.segments_decoded = %d, want 10", got)
+		}
+		if got := m.ScanSegmentsPruned.Value(); got != 0 {
+			t.Errorf("scan.segments_pruned = %d, want 0", got)
+		}
+	})
+}

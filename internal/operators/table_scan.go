@@ -5,15 +5,18 @@ import (
 
 	"hyrise/internal/encoding"
 	"hyrise/internal/expression"
+	"hyrise/internal/observe"
 	"hyrise/internal/storage"
 	"hyrise/internal/types"
 )
 
 // TableScan filters rows by a predicate. Simple predicates of the form
-// `column OP literal` take specialized per-encoding paths — most notably
-// the dictionary scan, which translates the predicate into a value-id range
-// and compares integer codes without decoding (paper §2.3). Everything else
-// falls back to the vectorized expression evaluator.
+// `column OP literal` run directly on the encoded representation via
+// encoding.ScannableSegment (paper §2.3): value-id comparison for
+// dictionaries, offset-domain block scans for frame-of-reference, per-run
+// evaluation for run-length — after a segment-level min-max prune that skips
+// segments the predicate provably cannot match. Everything else falls back
+// to the vectorized expression evaluator over materialized columns.
 type TableScan struct {
 	Predicate expression.Expression
 	input     Operator
@@ -38,6 +41,8 @@ func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 	errs := make([]error, len(chunks))
 
 	simple := analyzeSimplePredicate(op.Predicate)
+	cell := ctx.scanStatsCell(input, simple)
+	point := simple != nil && simple.pred.Op.IsPoint()
 
 	jobs := make([]func(), len(chunks))
 	for ci, c := range chunks {
@@ -48,13 +53,19 @@ func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 				return
 			}
 			if simple != nil && !ctx.DynamicAccess {
-				if matches, ok := scanChunkSpecialized(c, simple); ok {
+				if matches, enc, kind, ok := scanChunkSpecialized(c, simple); ok {
 					rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), matches)
+					noteScanPath(ctx, kind, enc)
+					if cell != nil {
+						cell.Record(kind, point, int64(n), int64(len(matches)))
+					}
 					return
 				}
 			}
-			// Fallback: vectorized expression evaluation.
+			// Fallback: vectorized expression evaluation over materialized
+			// columns.
 			ec := ctx.evalContext(input, c, n)
+			countDecodedSegments(ctx, c, ec)
 			keep, err := expression.EvaluateBool(op.Predicate, ec)
 			if err != nil {
 				errs[ci] = err
@@ -67,6 +78,9 @@ func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 				}
 			}
 			rowsPerChunk[ci] = rows
+			if cell != nil {
+				cell.Record(observe.ScanPathFallback, point, int64(n), int64(len(rows)))
+			}
 		}
 	}
 	ctx.runJobs(jobs)
@@ -81,32 +95,49 @@ func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 	return buildReferenceTable(input, rowsPerChunk, nil), nil
 }
 
-// simplePredicate is a `column OP literal` or `column BETWEEN lit AND lit`
-// predicate eligible for specialized scans.
+// simplePredicate is a `column OP literal`, `column BETWEEN lit AND lit`, or
+// `column IS [NOT] NULL` predicate eligible for the encoded scan paths.
 type simplePredicate struct {
 	column types.ColumnID
-	op     expression.ComparisonOp
-	value  types.Value
-	// between bounds (op is ignored when isBetween)
-	isBetween bool
-	lo, hi    types.Value
+	pred   encoding.ScanPredicate
+}
+
+// scanOpOf maps comparison operators onto encoded scan operators.
+func scanOpOf(op expression.ComparisonOp) (encoding.ScanOp, bool) {
+	switch op {
+	case expression.Eq:
+		return encoding.ScanEq, true
+	case expression.Ne:
+		return encoding.ScanNe, true
+	case expression.Lt:
+		return encoding.ScanLt, true
+	case expression.Le:
+		return encoding.ScanLe, true
+	case expression.Gt:
+		return encoding.ScanGt, true
+	case expression.Ge:
+		return encoding.ScanGe, true
+	default:
+		return 0, false
+	}
 }
 
 // analyzeSimplePredicate recognizes the specializable shapes.
 func analyzeSimplePredicate(e expression.Expression) *simplePredicate {
 	switch x := e.(type) {
 	case *expression.Comparison:
-		if x.Op == expression.Like || x.Op == expression.NotLike {
-			return nil
-		}
 		if col, ok := x.Left.(*expression.BoundColumn); ok {
 			if lit, ok := x.Right.(*expression.Literal); ok && !lit.Value.IsNull() {
-				return &simplePredicate{column: types.ColumnID(col.Index), op: x.Op, value: lit.Value}
+				if op, ok := scanOpOf(x.Op); ok {
+					return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: op, Value: lit.Value}}
+				}
 			}
 		}
 		if col, ok := x.Right.(*expression.BoundColumn); ok {
 			if lit, ok := x.Left.(*expression.Literal); ok && !lit.Value.IsNull() {
-				return &simplePredicate{column: types.ColumnID(col.Index), op: x.Op.Flip(), value: lit.Value}
+				if op, ok := scanOpOf(x.Op.Flip()); ok {
+					return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: op, Value: lit.Value}}
+				}
 			}
 		}
 	case *expression.Between:
@@ -117,7 +148,15 @@ func analyzeSimplePredicate(e expression.Expression) *simplePredicate {
 		lo, ok1 := x.Lo.(*expression.Literal)
 		hi, ok2 := x.Hi.(*expression.Literal)
 		if ok1 && ok2 && !lo.Value.IsNull() && !hi.Value.IsNull() {
-			return &simplePredicate{column: types.ColumnID(col.Index), isBetween: true, lo: lo.Value, hi: hi.Value}
+			return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: encoding.ScanBetween, Lo: lo.Value, Hi: hi.Value}}
+		}
+	case *expression.IsNull:
+		if col, ok := x.Child.(*expression.BoundColumn); ok {
+			op := encoding.ScanIsNull
+			if x.Negate {
+				op = encoding.ScanIsNotNull
+			}
+			return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: op}}
 		}
 	}
 	return nil
@@ -131,280 +170,147 @@ func offsetsToRows(chunkID types.ChunkID, offsets []types.ChunkOffset) types.Pos
 	return rows
 }
 
-// scanChunkSpecialized runs the per-encoding fast paths. ok is false when
-// no specialization applies (caller falls back to the evaluator).
-func scanChunkSpecialized(c *storage.Chunk, p *simplePredicate) ([]types.ChunkOffset, bool) {
-	if int(p.column) >= c.ColumnCount() {
-		return nil, false
+// scanStatsCell resolves the per-column workload statistics cell for a
+// simple predicate scan over a named table (nil otherwise) — resolved once
+// per operator run, updated lock-free per chunk.
+func (ctx *ExecContext) scanStatsCell(input *storage.Table, simple *simplePredicate) *observe.ColumnScanStats {
+	if ctx.Scans == nil || simple == nil {
+		return nil
 	}
-	seg := c.GetSegment(p.column)
-	switch s := seg.(type) {
-	case *encoding.DictionarySegment[int64]:
-		v, ok := probeInt(p, s)
-		if !ok {
-			return nil, false
+	name := input.Name()
+	if name == "" {
+		return nil
+	}
+	defs := input.ColumnDefinitions()
+	if int(simple.column) >= len(defs) {
+		return nil
+	}
+	return ctx.Scans.Column(name, defs[simple.column].Name)
+}
+
+// noteScanPath bumps the global scan.* counters for one specialized segment
+// scan.
+func noteScanPath(ctx *ExecContext, kind observe.ScanPathKind, enc encoding.ScanPath) {
+	m := ctx.Metrics
+	if m == nil {
+		return
+	}
+	switch kind {
+	case observe.ScanPathPruned:
+		m.ScanSegmentsPruned.Inc()
+	case observe.ScanPathUnencoded:
+		m.ScanSegmentsUnencoded.Inc()
+	case observe.ScanPathEncoded:
+		switch enc {
+		case encoding.PathDictionary:
+			m.ScanEncodedDictionary.Inc()
+		case encoding.PathFrameOfReference:
+			m.ScanEncodedFOR.Inc()
+		case encoding.PathRunLength:
+			m.ScanEncodedRLE.Inc()
 		}
-		return v, true
-	case *encoding.DictionarySegment[float64]:
-		v, ok := probeFloat(p, s)
-		if !ok {
-			return nil, false
+	}
+}
+
+// countDecodedSegments wraps the evaluation context's column loader so every
+// encoded segment the fallback path materializes increments
+// scan.segments_decoded — the decode-to-scan work the encoded paths exist to
+// avoid (and the signal the encoding advisor watches).
+func countDecodedSegments(ctx *ExecContext, c *storage.Chunk, ec *expression.Context) {
+	m := ctx.Metrics
+	if m == nil {
+		return
+	}
+	inner := ec.Column
+	counted := make(map[int]bool)
+	ec.Column = func(i int) (*expression.Vector, error) {
+		if !counted[i] && i < c.ColumnCount() {
+			counted[i] = true
+			if spec, ok := encoding.SpecOf(c.GetSegment(types.ColumnID(i))); ok && spec.Encoding != encoding.Unencoded {
+				m.ScanSegmentsDecoded.Inc()
+			}
 		}
-		return v, true
-	case *encoding.DictionarySegment[string]:
-		v, ok := probeString(p, s)
-		if !ok {
-			return nil, false
-		}
-		return v, true
-	case *storage.ValueSegment[int64]:
-		return scanValueSegment(s, p, types.Value.AsInt)
-	case *storage.ValueSegment[float64]:
-		return scanValueSegment(s, p, types.Value.AsFloat)
-	case *storage.ValueSegment[string]:
-		return scanStringValueSegment(s, p)
-	case *encoding.RunLengthSegment[int64]:
-		return scanRunLength(s, p, types.Value.AsInt)
-	case *encoding.RunLengthSegment[float64]:
-		return scanRunLength(s, p, types.Value.AsFloat)
-	case *encoding.RunLengthSegment[string]:
-		return scanRunLengthString(s, p)
-	case *encoding.FrameOfReferenceSegment:
-		if !numericProbe(p) {
-			return nil, false
-		}
-		vals, nulls := s.DecodeAll()
-		return scanSlice(vals, nulls, p, types.Value.AsInt), true
-	default:
-		return nil, false
+		return inner(i)
 	}
 }
 
-func numericProbe(p *simplePredicate) bool {
-	if p.isBetween {
-		return p.lo.Type.IsNumeric() && p.hi.Type.IsNumeric()
+// pruneChunkScan consults the chunk's min-max (and other) filters to decide
+// whether the predicate provably matches zero rows of the column's segment —
+// in which case the segment is never touched. Exclusive bounds are checked
+// as inclusive ranges: filters may fail to prune, never prune wrongly.
+func pruneChunkScan(c *storage.Chunk, p *simplePredicate) bool {
+	filters := c.Filters(p.column)
+	if len(filters) == 0 {
+		return false
 	}
-	return p.value.Type.IsNumeric()
-}
-
-func stringProbe(p *simplePredicate) bool {
-	if p.isBetween {
-		return p.lo.Type == types.TypeString && p.hi.Type == types.TypeString
-	}
-	return p.value.Type == types.TypeString
-}
-
-// probeDictionary translates the predicate into a value-id range [lo, hi)
-// and, for NotEquals, a second range. Matching offsets are collected by
-// integer comparison on the attribute vector only.
-func probeDictionary[T types.Ordered](s *encoding.DictionarySegment[T], p *simplePredicate, conv func(types.Value) T) ([]types.ChunkOffset, bool) {
-	total := encoding.ValueID(s.UniqueValueCount())
-	if p.isBetween {
-		lo := s.LowerBound(conv(p.lo))
-		hi := s.UpperBound(conv(p.hi))
-		return s.Matches(lo, hi, nil), true
-	}
-	v := conv(p.value)
-	switch p.op {
-	case expression.Eq:
-		return s.Matches(s.LowerBound(v), s.UpperBound(v), nil), true
-	case expression.Ne:
-		// Two disjoint id ranges: below and above the probe value.
-		out := s.Matches(0, s.LowerBound(v), nil)
-		out = s.Matches(s.UpperBound(v), total, out)
-		return sortOffsets(out), true
-	case expression.Lt:
-		return s.Matches(0, s.LowerBound(v), nil), true
-	case expression.Le:
-		return s.Matches(0, s.UpperBound(v), nil), true
-	case expression.Gt:
-		return s.Matches(s.UpperBound(v), total, nil), true
-	case expression.Ge:
-		return s.Matches(s.LowerBound(v), total, nil), true
-	default:
-		return nil, false
-	}
-}
-
-// sortOffsets restores position order after offsets were collected from
-// several id ranges or index postings.
-func sortOffsets(offsets []types.ChunkOffset) []types.ChunkOffset {
-	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
-	return offsets
-}
-
-func probeInt(p *simplePredicate, s *encoding.DictionarySegment[int64]) ([]types.ChunkOffset, bool) {
-	if !numericProbe(p) {
-		return nil, false
-	}
-	// Float probes against int dictionaries only specialize when integral.
-	if !p.isBetween && p.value.Type == types.TypeFloat64 && p.value.F != float64(int64(p.value.F)) {
-		return nil, false
-	}
-	if p.isBetween && ((p.lo.Type == types.TypeFloat64 && p.lo.F != float64(int64(p.lo.F))) ||
-		(p.hi.Type == types.TypeFloat64 && p.hi.F != float64(int64(p.hi.F)))) {
-		return nil, false
-	}
-	return probeDictionary(s, p, types.Value.AsInt)
-}
-
-func probeFloat(p *simplePredicate, s *encoding.DictionarySegment[float64]) ([]types.ChunkOffset, bool) {
-	if !numericProbe(p) {
-		return nil, false
-	}
-	return probeDictionary(s, p, types.Value.AsFloat)
-}
-
-func probeString(p *simplePredicate, s *encoding.DictionarySegment[string]) ([]types.ChunkOffset, bool) {
-	if !stringProbe(p) {
-		return nil, false
-	}
-	return probeDictionary(s, p, func(v types.Value) string { return v.S })
-}
-
-// scanValueSegment is the monomorphic compare loop over an unencoded
-// segment (the static access path: resolved once, no virtual calls inside).
-func scanValueSegment[T types.Ordered](s *storage.ValueSegment[T], p *simplePredicate, conv func(types.Value) T) ([]types.ChunkOffset, bool) {
-	if !probeTypeMatches[T](p) {
-		return nil, false
-	}
-	return scanSlice(s.Values(), s.Nulls(), p, conv), true
-}
-
-func scanStringValueSegment(s *storage.ValueSegment[string], p *simplePredicate) ([]types.ChunkOffset, bool) {
-	if !stringProbe(p) {
-		return nil, false
-	}
-	return scanSlice(s.Values(), s.Nulls(), p, func(v types.Value) string { return v.S }), true
-}
-
-func probeTypeMatches[T types.Ordered](p *simplePredicate) bool {
-	var z T
-	switch any(z).(type) {
-	case int64:
-		if !numericProbe(p) {
+	pr := &p.pred
+	for _, f := range filters {
+		switch pr.Op {
+		case encoding.ScanEq:
+			if f.CanPruneEquals(pr.Value) {
+				return true
+			}
+		case encoding.ScanLt, encoding.ScanLe:
+			if f.CanPruneRange(nil, &pr.Value) {
+				return true
+			}
+		case encoding.ScanGt, encoding.ScanGe:
+			if f.CanPruneRange(&pr.Value, nil) {
+				return true
+			}
+		case encoding.ScanBetween:
+			if f.CanPruneRange(&pr.Lo, &pr.Hi) {
+				return true
+			}
+		default:
+			// <>, IS [NOT] NULL: min-max statistics cannot refute these.
 			return false
 		}
-		// Non-integral float probes need float comparison semantics.
-		if !p.isBetween && p.value.Type == types.TypeFloat64 && p.value.F != float64(int64(p.value.F)) {
-			return false
-		}
-		if p.isBetween && ((p.lo.Type == types.TypeFloat64 && p.lo.F != float64(int64(p.lo.F))) ||
-			(p.hi.Type == types.TypeFloat64 && p.hi.F != float64(int64(p.hi.F)))) {
-			return false
-		}
-		return true
-	case float64:
-		return numericProbe(p)
-	case string:
-		return stringProbe(p)
 	}
 	return false
 }
 
-func scanSlice[T types.Ordered](vals []T, nulls []bool, p *simplePredicate, conv func(types.Value) T) []types.ChunkOffset {
-	var out []types.ChunkOffset
-	emit := func(i int) { out = append(out, types.ChunkOffset(i)) }
-	if p.isBetween {
-		lo, hi := conv(p.lo), conv(p.hi)
-		for i, v := range vals {
-			if nulls != nil && nulls[i] {
-				continue
-			}
-			if v >= lo && v <= hi {
-				emit(i)
-			}
-		}
-		return out
+// scanChunkSpecialized runs the pruning and per-encoding fast paths. ok is
+// false when no specialization applies (the caller falls back to the
+// evaluator). The returned kind labels which path answered; enc identifies
+// the encoding when kind is ScanPathEncoded.
+func scanChunkSpecialized(c *storage.Chunk, p *simplePredicate) (matches []types.ChunkOffset, enc encoding.ScanPath, kind observe.ScanPathKind, ok bool) {
+	if int(p.column) >= c.ColumnCount() {
+		return nil, 0, 0, false
 	}
-	probe := conv(p.value)
-	switch p.op {
-	case expression.Eq:
-		for i, v := range vals {
-			if (nulls == nil || !nulls[i]) && v == probe {
-				emit(i)
-			}
+	if pruneChunkScan(c, p) {
+		return nil, 0, observe.ScanPathPruned, true
+	}
+	seg := c.GetSegment(p.column)
+	if ss, sok := seg.(encoding.ScannableSegment); sok {
+		if out, path, eok := ss.ScanEncoded(p.pred, nil); eok {
+			return out, path, observe.ScanPathEncoded, true
 		}
-	case expression.Ne:
-		for i, v := range vals {
-			if (nulls == nil || !nulls[i]) && v != probe {
-				emit(i)
-			}
+		// Encoded but the predicate/type pair is unsupported: materialize.
+		return nil, 0, 0, false
+	}
+	switch s := seg.(type) {
+	case *storage.ValueSegment[int64]:
+		if out, vok := encoding.ScanValues(p.pred, s.Values(), s.Nulls(), nil); vok {
+			return out, 0, observe.ScanPathUnencoded, true
 		}
-	case expression.Lt:
-		for i, v := range vals {
-			if (nulls == nil || !nulls[i]) && v < probe {
-				emit(i)
-			}
+	case *storage.ValueSegment[float64]:
+		if out, vok := encoding.ScanValues(p.pred, s.Values(), s.Nulls(), nil); vok {
+			return out, 0, observe.ScanPathUnencoded, true
 		}
-	case expression.Le:
-		for i, v := range vals {
-			if (nulls == nil || !nulls[i]) && v <= probe {
-				emit(i)
-			}
-		}
-	case expression.Gt:
-		for i, v := range vals {
-			if (nulls == nil || !nulls[i]) && v > probe {
-				emit(i)
-			}
-		}
-	case expression.Ge:
-		for i, v := range vals {
-			if (nulls == nil || !nulls[i]) && v >= probe {
-				emit(i)
-			}
+	case *storage.ValueSegment[string]:
+		if out, vok := encoding.ScanValues(p.pred, s.Values(), s.Nulls(), nil); vok {
+			return out, 0, observe.ScanPathUnencoded, true
 		}
 	}
-	return out
+	return nil, 0, 0, false
 }
 
-// scanRunLength evaluates the predicate once per run (paper §2.3 lists RLE
-// among the encodings scans specialize for).
-func scanRunLength[T types.Ordered](s *encoding.RunLengthSegment[T], p *simplePredicate, conv func(types.Value) T) ([]types.ChunkOffset, bool) {
-	if !probeTypeMatches[T](p) {
-		return nil, false
-	}
-	var out []types.ChunkOffset
-	match := runMatcher(p, conv)
-	s.ForEachRun(func(first, last types.ChunkOffset, v T, null bool) {
-		if null || !match(v) {
-			return
-		}
-		for o := first; o <= last; o++ {
-			out = append(out, o)
-		}
-	})
-	return out, true
-}
-
-func scanRunLengthString(s *encoding.RunLengthSegment[string], p *simplePredicate) ([]types.ChunkOffset, bool) {
-	if !stringProbe(p) {
-		return nil, false
-	}
-	return scanRunLength(s, p, func(v types.Value) string { return v.S })
-}
-
-func runMatcher[T types.Ordered](p *simplePredicate, conv func(types.Value) T) func(T) bool {
-	if p.isBetween {
-		lo, hi := conv(p.lo), conv(p.hi)
-		return func(v T) bool { return v >= lo && v <= hi }
-	}
-	probe := conv(p.value)
-	switch p.op {
-	case expression.Eq:
-		return func(v T) bool { return v == probe }
-	case expression.Ne:
-		return func(v T) bool { return v != probe }
-	case expression.Lt:
-		return func(v T) bool { return v < probe }
-	case expression.Le:
-		return func(v T) bool { return v <= probe }
-	case expression.Gt:
-		return func(v T) bool { return v > probe }
-	default:
-		return func(v T) bool { return v >= probe }
-	}
+// sortOffsets restores position order after offsets were collected from
+// several index postings.
+func sortOffsets(offsets []types.ChunkOffset) []types.ChunkOffset {
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	return offsets
 }
 
 // IndexScan evaluates a simple predicate through per-chunk secondary
@@ -435,23 +341,37 @@ func (op *IndexScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 		// Not index-eligible after all: degrade to a table scan.
 		return NewTableScan(op.input, op.Predicate).Run(ctx, inputs)
 	}
+	cell := ctx.scanStatsCell(input, simple)
+	point := simple.pred.Op.IsPoint()
+	// Indexes hold non-null values only; null checks go through the scan
+	// paths even on indexed chunks.
+	nullCheck := simple.pred.Op == encoding.ScanIsNull || simple.pred.Op == encoding.ScanIsNotNull
 	chunks := input.Chunks()
 	rowsPerChunk := make([]types.PosList, len(chunks))
 	jobs := make([]func(), len(chunks))
 	for ci, c := range chunks {
 		ci, c := ci, c
 		jobs[ci] = func() {
-			if c.Size() == 0 {
+			n := c.Size()
+			if n == 0 {
 				return
 			}
 			idx := c.GetIndex(simple.column)
-			if idx == nil {
-				if matches, ok := scanChunkSpecialized(c, simple); ok {
+			if idx == nil || nullCheck {
+				if matches, enc, kind, ok := scanChunkSpecialized(c, simple); ok {
 					rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), matches)
+					noteScanPath(ctx, kind, enc)
+					if cell != nil {
+						cell.Record(kind, point, int64(n), int64(len(matches)))
+					}
 					return
 				}
 				// Unspecializable chunk: dynamic per-row fallback.
-				rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), dynamicScan(c, simple))
+				matches := dynamicScan(c, simple)
+				rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), matches)
+				if cell != nil {
+					cell.Record(observe.ScanPathFallback, point, int64(n), int64(len(matches)))
+				}
 				return
 			}
 			rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), indexProbe(idx, simple))
@@ -465,28 +385,28 @@ func (op *IndexScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 }
 
 func indexProbe(idx storage.ChunkIndex, p *simplePredicate) []types.ChunkOffset {
-	if p.isBetween {
-		return sortOffsets(idx.Range(&p.lo, &p.hi))
-	}
-	switch p.op {
-	case expression.Eq:
-		return idx.Equals(p.value)
-	case expression.Lt:
+	pr := &p.pred
+	switch pr.Op {
+	case encoding.ScanBetween:
+		return sortOffsets(idx.Range(&pr.Lo, &pr.Hi))
+	case encoding.ScanEq:
+		return idx.Equals(pr.Value)
+	case encoding.ScanLt:
 		// Exclusive bound: range to value, then drop equals.
-		all := idx.Range(nil, &p.value)
-		eq := offsetSet(idx.Equals(p.value))
+		all := idx.Range(nil, &pr.Value)
+		eq := offsetSet(idx.Equals(pr.Value))
 		return sortOffsets(removeOffsets(all, eq))
-	case expression.Le:
-		return sortOffsets(idx.Range(nil, &p.value))
-	case expression.Gt:
-		all := idx.Range(&p.value, nil)
-		eq := offsetSet(idx.Equals(p.value))
+	case encoding.ScanLe:
+		return sortOffsets(idx.Range(nil, &pr.Value))
+	case encoding.ScanGt:
+		all := idx.Range(&pr.Value, nil)
+		eq := offsetSet(idx.Equals(pr.Value))
 		return sortOffsets(removeOffsets(all, eq))
-	case expression.Ge:
-		return sortOffsets(idx.Range(&p.value, nil))
+	case encoding.ScanGe:
+		return sortOffsets(idx.Range(&pr.Value, nil))
 	default: // Ne
 		all := idx.Range(nil, nil)
-		eq := offsetSet(idx.Equals(p.value))
+		eq := offsetSet(idx.Equals(pr.Value))
 		return sortOffsets(removeOffsets(all, eq))
 	}
 }
@@ -515,11 +435,7 @@ func dynamicScan(c *storage.Chunk, p *simplePredicate) []types.ChunkOffset {
 	seg := c.GetSegment(p.column)
 	var out []types.ChunkOffset
 	for o := 0; o < seg.Len(); o++ {
-		v := seg.ValueAt(types.ChunkOffset(o))
-		if v.IsNull() {
-			continue
-		}
-		if matchValue(v, p) {
+		if matchValue(seg.ValueAt(types.ChunkOffset(o)), p) {
 			out = append(out, types.ChunkOffset(o))
 		}
 	}
@@ -527,25 +443,31 @@ func dynamicScan(c *storage.Chunk, p *simplePredicate) []types.ChunkOffset {
 }
 
 func matchValue(v types.Value, p *simplePredicate) bool {
-	if p.isBetween {
-		c1, ok1 := types.Compare(v, p.lo)
-		c2, ok2 := types.Compare(v, p.hi)
+	pr := &p.pred
+	switch pr.Op {
+	case encoding.ScanIsNull:
+		return v.IsNull()
+	case encoding.ScanIsNotNull:
+		return !v.IsNull()
+	case encoding.ScanBetween:
+		c1, ok1 := types.Compare(v, pr.Lo)
+		c2, ok2 := types.Compare(v, pr.Hi)
 		return ok1 && ok2 && c1 >= 0 && c2 <= 0
 	}
-	c, ok := types.Compare(v, p.value)
+	c, ok := types.Compare(v, pr.Value)
 	if !ok {
 		return false
 	}
-	switch p.op {
-	case expression.Eq:
+	switch pr.Op {
+	case encoding.ScanEq:
 		return c == 0
-	case expression.Ne:
+	case encoding.ScanNe:
 		return c != 0
-	case expression.Lt:
+	case encoding.ScanLt:
 		return c < 0
-	case expression.Le:
+	case encoding.ScanLe:
 		return c <= 0
-	case expression.Gt:
+	case encoding.ScanGt:
 		return c > 0
 	default:
 		return c >= 0

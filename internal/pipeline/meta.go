@@ -21,6 +21,47 @@ func (e *Engine) registerMetaTables() {
 	e.sm.RegisterMetaTable("meta_metrics", e.buildMetaMetrics)
 	e.sm.RegisterMetaTable("meta_active_queries", e.buildMetaActiveQueries)
 	e.sm.RegisterMetaTable("meta_statement_stats", e.buildMetaStatementStats)
+	e.sm.RegisterMetaTable("meta_column_scans", e.buildMetaColumnScans)
+}
+
+// buildMetaColumnScans snapshots the per-column scan workload statistics:
+// one row per scanned table.column with the code-path mix (pruned, encoded,
+// unencoded, fallback), predicate shape counts, and row selectivity. This is
+// the same feed the encoding advisor consumes to steer re-encoding.
+func (e *Engine) buildMetaColumnScans() (*storage.Table, error) {
+	defs := []storage.ColumnDefinition{
+		{Name: "table_name", Type: types.TypeString},
+		{Name: "column_name", Type: types.TypeString},
+		{Name: "scans", Type: types.TypeInt64},
+		{Name: "pruned", Type: types.TypeInt64},
+		{Name: "encoded", Type: types.TypeInt64},
+		{Name: "unencoded", Type: types.TypeInt64},
+		{Name: "fallback", Type: types.TypeInt64},
+		{Name: "point_predicates", Type: types.TypeInt64},
+		{Name: "range_predicates", Type: types.TypeInt64},
+		{Name: "rows_in", Type: types.TypeInt64},
+		{Name: "rows_out", Type: types.TypeInt64},
+	}
+	out := storage.NewTable("meta_column_scans", defs, 0, false)
+	for _, s := range e.scanStats.Snapshot() {
+		if _, err := out.AppendRow([]types.Value{
+			types.Str(s.Table),
+			types.Str(s.Column),
+			types.Int(s.Scans),
+			types.Int(s.Pruned),
+			types.Int(s.Encoded),
+			types.Int(s.Unencoded),
+			types.Int(s.Fallback),
+			types.Int(s.Points),
+			types.Int(s.Ranges),
+			types.Int(s.RowsIn),
+			types.Int(s.RowsOut),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
 }
 
 // buildMetaTables snapshots one row per base table: schema shape and memory

@@ -133,6 +133,7 @@ type Engine struct {
 
 	registry  *observe.Registry
 	metrics   *engineMetrics
+	scanStats *observe.ScanStats
 	traceSink atomic.Pointer[func(*observe.Trace)]
 	debug     *observe.DebugServer
 	persist   *persistence.Manager
@@ -246,6 +247,7 @@ func (e *Engine) initObservability() {
 	}
 	e.active = observe.NewActiveRegistry()
 	e.stmtStats = observe.NewStatementStats(0)
+	e.scanStats = observe.NewScanStats()
 	r.RegisterFunc("active_queries", func() int64 { return int64(e.active.Len()) })
 	r.RegisterFunc("statement_stats_entries", func() int64 { return int64(e.stmtStats.Len()) })
 	r.RegisterFunc("statement_stats_dropped", func() int64 { return e.stmtStats.Dropped() })
@@ -290,6 +292,11 @@ func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.planCache.Stat
 // Metrics exposes the engine's metrics registry (also queryable through the
 // meta_metrics table and the debug endpoint's /metrics dump).
 func (e *Engine) Metrics() *observe.Registry { return e.registry }
+
+// ScanStats exposes the per-column scan workload statistics (also queryable
+// through the meta_column_scans table). The encoding advisor reads these to
+// steer segment re-encoding.
+func (e *Engine) ScanStats() *observe.ScanStats { return e.scanStats }
 
 // SetTraceSink installs fn to receive a Trace for every planned statement
 // the engine executes; nil uninstalls it. Without a sink, tracing costs
@@ -775,6 +782,7 @@ func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlpar
 	ectx.DynamicAccess = engine.cfg.DynamicAccess
 	ectx.Trace = trace
 	ectx.Metrics = engine.metrics.exec
+	ectx.Scans = engine.scanStats
 	ectx.Waits = engine.metrics.waits
 	ectx.Active = s.activeQ
 	ectx.LockWait = engine.cfg.LockWaitTimeout

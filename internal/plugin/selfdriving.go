@@ -7,6 +7,7 @@ import (
 
 	"hyrise/internal/encoding"
 	"hyrise/internal/index"
+	"hyrise/internal/observe"
 	"hyrise/internal/pipeline"
 	"hyrise/internal/statistics"
 	"hyrise/internal/storage"
@@ -162,6 +163,13 @@ type EncodingAdvisorPlugin struct {
 	mu      sync.Mutex
 	engine  *pipeline.Engine
 	applied map[string]string // "table.column" -> encoding name
+	// MinScans is the number of observed segment scans a column needs
+	// before AdviseFromWorkload will consider re-encoding it (default 8);
+	// below that the workload signal is noise.
+	MinScans int64
+	// reencoded records AdviseFromWorkload decisions that actually changed
+	// a segment, "table.column" -> new encoding name.
+	reencoded map[string]string
 }
 
 // Name implements Plugin.
@@ -177,6 +185,10 @@ func (p *EncodingAdvisorPlugin) Start(engine *pipeline.Engine) error {
 	p.mu.Lock()
 	p.engine = engine
 	p.applied = make(map[string]string)
+	p.reencoded = make(map[string]string)
+	if p.MinScans == 0 {
+		p.MinScans = 8
+	}
 	p.mu.Unlock()
 	return p.Advise()
 }
@@ -235,6 +247,124 @@ func (p *EncodingAdvisorPlugin) Advise() error {
 		}
 	}
 	return nil
+}
+
+// Reencoded reports the columns AdviseFromWorkload changed and the encoding
+// it changed them to.
+func (p *EncodingAdvisorPlugin) Reencoded() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.reencoded))
+	for k, v := range p.reencoded {
+		out[k] = v
+	}
+	return out
+}
+
+// AdviseFromWorkload closes the self-driving loop: it reads the per-column
+// scan statistics the executor records (code-path mix, predicate shapes,
+// selectivity) and re-encodes the segments of hot columns toward whatever
+// representation the observed workload scans fastest. Unlike Advise, which
+// only encodes still-unencoded chunks from data-shape statistics, this pass
+// re-encodes already-encoded segments when the workload disagrees with the
+// earlier choice.
+func (p *EncodingAdvisorPlugin) AdviseFromWorkload() error {
+	p.mu.Lock()
+	engine := p.engine
+	minScans := p.MinScans
+	p.mu.Unlock()
+	if engine == nil {
+		return fmt.Errorf("plugin: not started")
+	}
+	if minScans <= 0 {
+		minScans = 8
+	}
+	sm := engine.StorageManager()
+	stats := engine.Statistics()
+	for _, snap := range engine.ScanStats().Snapshot() {
+		if snap.Scans < minScans {
+			continue
+		}
+		t, err := sm.GetTable(snap.Table)
+		if err != nil {
+			continue // dropped since it was scanned
+		}
+		col := types.ColumnID(0)
+		found := false
+		var dt types.DataType
+		for ci, def := range t.ColumnDefinitions() {
+			if def.Name == snap.Column {
+				col, dt, found = types.ColumnID(ci), def.Type, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		rows := float64(t.RowCount())
+		if rows == 0 {
+			continue
+		}
+		want := p.chooseFromWorkload(snap, stats.Get(t).Columns[col], rows, dt)
+		changed := false
+		for _, c := range t.Chunks() {
+			if !c.IsImmutable() {
+				continue
+			}
+			seg := c.GetSegment(col)
+			if seg == nil {
+				continue
+			}
+			cur, ok := encoding.SpecOf(seg)
+			if !ok || cur.String() == want.String() {
+				continue // reference/unknown segment, or already there
+			}
+			enc, err := encoding.EncodeSegment(seg, want)
+			if err != nil {
+				continue // e.g. frame-of-reference over a string column
+			}
+			c.ReplaceSegment(col, enc)
+			changed = true
+		}
+		if changed {
+			p.mu.Lock()
+			p.reencoded[snap.Table+"."+snap.Column] = want.String()
+			p.applied[snap.Table+"."+snap.Column] = want.String()
+			p.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// chooseFromWorkload maps a column's observed scan profile to an encoding.
+// The workload path never picks Unencoded: a column that shows up here is
+// being scanned, and every encoded representation answers at least the
+// dictionary's predicate set without materializing.
+func (p *EncodingAdvisorPlugin) chooseFromWorkload(snap observe.ColumnScanSnapshot, cs *statistics.ColumnStatistics, rows float64, dt types.DataType) encoding.Spec {
+	distinctRatio := 1.0
+	denseDomain := false
+	if cs != nil {
+		distinctRatio = cs.DistinctCount / rows
+		denseDomain = dt == types.TypeInt64 && cs.Max-cs.Min < rows*16
+	}
+	switch {
+	case distinctRatio <= 0.001:
+		// Near-constant data: run-length answers any predicate per run.
+		return encoding.Spec{Encoding: encoding.RunLength}
+	case snap.FallbackRatio() > 0.25:
+		// The current representation keeps materializing; dictionary
+		// supports the widest encoded predicate set.
+		return encoding.Spec{Encoding: encoding.Dictionary, Compression: encoding.BitPacked128}
+	case snap.Ranges > snap.Points && denseDomain:
+		// Range-heavy over a dense integer domain: frame-of-reference
+		// rewrites ranges into the offset domain and short-circuits
+		// whole blocks via min/max.
+		return encoding.Spec{Encoding: encoding.FrameOfReference, Compression: encoding.FixedSizeByteAligned}
+	default:
+		// Point-heavy or mixed: dictionary answers equality with one
+		// binary search over the sorted dictionary.
+		return encoding.Spec{Encoding: encoding.Dictionary, Compression: encoding.BitPacked128}
+	}
 }
 
 func (p *EncodingAdvisorPlugin) choose(cs *statistics.ColumnStatistics, rows float64, dt types.DataType) encoding.Spec {

@@ -1,0 +1,131 @@
+package plugin
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/observe"
+	"hyrise/internal/pipeline"
+)
+
+// TestEncodingAdvisorFromWorkload drives the full self-driving loop with a
+// synthetic access pattern: the executor-side scan statistics say one column
+// is scanned with point predicates and another with ranges, the advisor
+// re-encodes both against its earlier data-shape choice, queries keep
+// answering correctly, and the re-encoded data survives a snapshot/WAL
+// round-trip.
+func TestEncodingAdvisorFromWorkload(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pipeline.DefaultConfig()
+	cfg.DataDir = dir
+	cfg.SyncMode = "off"
+	e, err := pipeline.NewEngineErr(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := e.NewSession()
+	if _, err := s.Execute("CREATE TABLE wl (pointy INT, rangy INT, cold INT)"); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 2000
+	var wantSum int64
+	for i := 0; i < rows; i++ {
+		sql := fmt.Sprintf("INSERT INTO wl VALUES (%d, %d, %d)", i%50, i, i%10)
+		if _, err := s.Execute(sql); err != nil {
+			t.Fatal(err)
+		}
+		wantSum += int64(i)
+	}
+	table, err := e.StorageManager().GetTable("wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.FinalizeLastChunk()
+
+	p := &EncodingAdvisorPlugin{}
+	if err := p.Start(e); err != nil {
+		t.Fatal(err)
+	}
+	applied := p.Applied()
+	// Data-shape pass: pointy (50 distinct / 2000) -> dictionary, rangy
+	// (dense unique ints) -> frame-of-reference.
+	if !strings.Contains(applied["wl.pointy"], "Dictionary") {
+		t.Fatalf("pointy after Advise = %q, want dictionary", applied["wl.pointy"])
+	}
+	if !strings.Contains(applied["wl.rangy"], "FrameOfReference") {
+		t.Fatalf("rangy after Advise = %q, want frame-of-reference", applied["wl.rangy"])
+	}
+
+	// Synthetic workload: rangy is hammered with point probes, pointy with
+	// range predicates; cold stays under the MinScans threshold.
+	stats := e.ScanStats()
+	for i := 0; i < 20; i++ {
+		stats.Column("wl", "rangy").Record(observe.ScanPathEncoded, true, rows, 1)
+		stats.Column("wl", "pointy").Record(observe.ScanPathEncoded, false, rows, 400)
+	}
+	for i := 0; i < 3; i++ {
+		stats.Column("wl", "cold").Record(observe.ScanPathEncoded, true, rows, 200)
+	}
+
+	if err := p.AdviseFromWorkload(); err != nil {
+		t.Fatal(err)
+	}
+	re := p.Reencoded()
+	if !strings.Contains(re["wl.rangy"], "Dictionary") {
+		t.Errorf("rangy re-encoding = %q, want dictionary (point-heavy workload)", re["wl.rangy"])
+	}
+	if !strings.Contains(re["wl.pointy"], "FrameOfReference") {
+		t.Errorf("pointy re-encoding = %q, want frame-of-reference (range-heavy workload over a dense domain)", re["wl.pointy"])
+	}
+	if _, ok := re["wl.cold"]; ok {
+		t.Errorf("cold was re-encoded despite %d < MinScans observations", 3)
+	}
+
+	// The segments were physically swapped.
+	pointyCol, _ := table.ColumnID("pointy")
+	rangyCol, _ := table.ColumnID("rangy")
+	if _, ok := table.GetChunk(0).GetSegment(pointyCol).(*encoding.FrameOfReferenceSegment); !ok {
+		t.Errorf("pointy segment is %T, want frame-of-reference", table.GetChunk(0).GetSegment(pointyCol))
+	}
+	if _, ok := table.GetChunk(0).GetSegment(rangyCol).(*encoding.DictionarySegment[int64]); !ok {
+		t.Errorf("rangy segment is %T, want dictionary", table.GetChunk(0).GetSegment(rangyCol))
+	}
+
+	// Queries still answer correctly on the re-encoded segments.
+	checkData := func(e *pipeline.Engine, phase string) {
+		t.Helper()
+		res, err := e.NewSession().ExecuteOne(
+			"SELECT count(*), sum(rangy) FROM wl")
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		got := pipeline.RowStrings(res.Table)
+		if got[0][0] != fmt.Sprint(rows) || got[0][1] != fmt.Sprint(wantSum) {
+			t.Fatalf("%s: count/sum = %v, want [%d %d]", phase, got[0], rows, wantSum)
+		}
+		res, err = e.NewSession().ExecuteOne(
+			"SELECT count(*) FROM wl WHERE pointy = 7 AND rangy < 1000")
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		if got := pipeline.RowStrings(res.Table); got[0][0] != "20" {
+			t.Fatalf("%s: filtered count = %v, want 20", phase, got[0])
+		}
+	}
+	checkData(e, "after re-encode")
+
+	// Snapshot the re-encoded state and reopen the engine from disk.
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e2, err := pipeline.NewEngineErr(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	checkData(e2, "after recovery")
+}
