@@ -89,7 +89,7 @@ func metaCommand(line string, engine *pipeline.Engine, session *pipeline.Session
 		return true
 	case "\\help":
 		fmt.Println(`\generate tpch <sf>, \tables, \visualize <sql>, \explain <sql>, \metrics,
-\timing on|off, \plugins, \load <name>, \unload <name>, \q`)
+\replication, \timing on|off, \plugins, \load <name>, \unload <name>, \q`)
 	case "\\tables":
 		for _, name := range engine.StorageManager().TableNames() {
 			t, _ := engine.StorageManager().GetTable(name)
@@ -144,6 +144,13 @@ func metaCommand(line string, engine *pipeline.Engine, session *pipeline.Session
 			break
 		}
 		fmt.Print(ex.Text)
+	case "\\replication":
+		res, err := session.ExecuteOne("SELECT * FROM meta_replication")
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		printResult(res, false)
 	case "\\metrics":
 		for _, m := range engine.Metrics().Snapshot() {
 			fmt.Printf("  %-32s %-10s %d\n", m.Name, m.Kind, m.Value)

@@ -3,6 +3,15 @@
 //
 //	hyrise-server -addr 127.0.0.1:5433 -tpch 0.01
 //	psql -h 127.0.0.1 -p 5433 -U hyrise
+//
+// Replication: a durable primary ships its WAL to followers.
+//
+//	hyrise-server -data-dir /var/lib/hyrise -replication-addr 127.0.0.1:5444
+//	hyrise-server -addr 127.0.0.1:5434 -replica-of 127.0.0.1:5444
+//
+// A follower serves reads at the primary's commit barrier and rejects writes
+// with SQLSTATE 25006. With -replicas N, the primary additionally attaches N
+// in-process read replicas and routes eligible SELECTs to them.
 package main
 
 import (
@@ -10,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"hyrise"
 	"hyrise/internal/pipeline"
 	"hyrise/internal/server"
 	"hyrise/internal/tpch"
@@ -31,8 +41,16 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable data directory: restore snapshot+WAL on boot, log commits (empty = in-memory)")
 		syncMode    = flag.String("sync", "commit", "WAL sync mode: commit (fsync per commit group), batch (background fsync), off")
 		snapEvery   = flag.Duration("snapshot-interval", 0, "checkpoint snapshots at this cadence, truncating the WAL (0 = only on demand)")
+		replAddr    = flag.String("replication-addr", "", "serve WAL shipping to followers on this address (requires -data-dir)")
+		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this replication address")
+		replicas    = flag.Int("replicas", 0, "attach this many in-process read replicas and route SELECTs to them (requires -data-dir)")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 
 	cfg := pipeline.DefaultConfig()
 	cfg.UseScheduler = *scheduler
@@ -42,40 +60,72 @@ func main() {
 	cfg.DataDir = *dataDir
 	cfg.SyncMode = *syncMode
 	cfg.SnapshotInterval = *snapEvery
-	engine, err := pipeline.NewEngineErr(cfg, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+
+	var (
+		db  *hyrise.Database
+		err error
+	)
+	if *replicaOf != "" {
+		db, err = hyrise.OpenReplica(cfg, *replicaOf)
+	} else {
+		db, err = hyrise.OpenErr(cfg)
 	}
-	defer engine.Close()
+	if err != nil {
+		fail(err)
+	}
+	defer db.Close()
+	engine := db.Engine()
 	if cfg.DataDir != "" {
 		fmt.Fprintf(os.Stderr, "durable mode: data-dir=%s sync=%s\n", cfg.DataDir, cfg.SyncMode)
+	}
+	if *replicaOf != "" {
+		fmt.Fprintf(os.Stderr, "read-only replica of %s (writes rejected with SQLSTATE 25006)\n", *replicaOf)
 	}
 	if d := engine.DebugAddr(); d != "" {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (pprof, OpenMetrics /metrics, JSON /metrics.json)\n", d)
 	}
 
-	if *tpchSF > 0 {
+	if *tpchSF > 0 && *replicaOf == "" {
 		fmt.Fprintf(os.Stderr, "loading TPC-H at scale factor %g...\n", *tpchSF)
 		if err := tpch.Generate(engine.StorageManager(), tpch.Config{ScaleFactor: *tpchSF, UseMvcc: cfg.UseMvcc, Seed: 42}); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := tpch.EncodeAndFilter(engine.StorageManager(), tpch.DefaultEncoding()); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		// Bulk loads bypass the WAL; checkpoint so the generated data is in
-		// the snapshot and survives restarts.
+		// the snapshot and survives restarts (and reaches followers).
 		if engine.Durable() {
 			if err := engine.Checkpoint(); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
 	}
 
+	if *replAddr != "" {
+		actual, err := db.ServeReplication(*replAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "replication listener on %s (WAL shipping to followers)\n", actual)
+	}
+	for i := 0; i < *replicas; i++ {
+		// In-process replicas are in-memory: they bootstrap from the
+		// primary's snapshot and tail its WAL, not their own disk.
+		rcfg := pipeline.DefaultConfig()
+		rcfg.UseScheduler = *scheduler
+		if _, err := db.AttachReplica(rcfg); err != nil {
+			fail(err)
+		}
+	}
+	if *replicas > 0 {
+		fmt.Fprintf(os.Stderr, "attached %d in-process read replica(s); routing SELECTs at the commit barrier\n", *replicas)
+	}
+
 	srv := server.New(engine)
+	if *replicas > 0 {
+		srv.SetReadRouter(db)
+	}
 	if *slowLog || *slowTrace {
 		srv.EnableSlowQueryLog(os.Stderr, *slowThr)
 	}
@@ -90,13 +140,11 @@ func main() {
 	}
 	actual, err := srv.Listen(*addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "hyrise-server listening on %s (PostgreSQL wire protocol)\n", actual)
 	fmt.Fprintf(os.Stderr, "connect with: psql -h %s\n", actual)
 	if err := srv.Serve(); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }

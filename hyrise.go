@@ -52,6 +52,7 @@ type Database struct {
 	engine  *pipeline.Engine
 	session *pipeline.Session
 	plugins *plugin.Manager
+	repl    replState // replication role, if any (see replication.go)
 }
 
 // Open creates a database with the given configuration. It panics when
@@ -83,8 +84,10 @@ func OpenErr(cfg Config) (*Database, error) {
 // the write-ahead log. It fails on in-memory databases.
 func (db *Database) Checkpoint() error { return db.engine.Checkpoint() }
 
-// Close shuts down the scheduler and unloads all plugins.
+// Close stops replication (if any), shuts down the scheduler, and unloads
+// all plugins.
 func (db *Database) Close() {
+	db.CloseReplication()
 	db.plugins.UnloadAll()
 	db.engine.Close()
 }
@@ -212,9 +215,17 @@ func (db *Database) LoadCSV(name string, defs []storage.ColumnDefinition, r io.R
 }
 
 // Serve starts a PostgreSQL-wire-protocol server on addr (blocking). Use
-// psql or any PostgreSQL driver to connect (paper §2.5).
+// psql or any PostgreSQL driver to connect (paper §2.5). When read replicas
+// are attached (AttachReplica), eligible SELECTs are routed to them at the
+// commit barrier.
 func (db *Database) Serve(addr string) error {
 	srv := server.New(db.engine)
+	db.repl.mu.Lock()
+	routed := len(db.repl.replicas) > 0
+	db.repl.mu.Unlock()
+	if routed {
+		srv.SetReadRouter(db)
+	}
 	if _, err := srv.Listen(addr); err != nil {
 		return err
 	}

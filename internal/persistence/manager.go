@@ -41,6 +41,13 @@ type Manager struct {
 	// checkpointMu serializes Checkpoint calls (ticker vs. explicit).
 	checkpointMu sync.Mutex
 
+	// pinMu guards the WAL retention pins (see PinWAL). Checkpoint clamps
+	// front-truncation to the lowest pinned LSN so a replication follower's
+	// unshipped log suffix is never deleted out from under it.
+	pinMu  sync.Mutex
+	pins   map[int]int64
+	pinSeq int
+
 	walBytes      *observe.Counter
 	walSyncs      *observe.Counter
 	walAppends    *observe.Counter
@@ -107,93 +114,17 @@ func Open(sm *storage.StorageManager, tm *concurrency.TransactionManager, opts O
 	return m, nil
 }
 
-// replay applies the WAL suffix past the snapshot cut. Insert and delete
-// records buffer until their transaction's commit record arrives (each
-// commit batch is appended atomically, so a torn tail never splits one);
-// DDL records apply immediately. It returns the highest commit and
-// transaction ids seen.
+// replay applies the WAL suffix past the snapshot cut through an Applier
+// (shared with replication followers). Ops without a commit record cannot
+// survive a torn tail (batches are atomic), but the applier drops them
+// anyway. It returns the highest commit and transaction ids seen.
 func (m *Manager) replay(fromLSN int64) (maxCID types.CommitID, maxTID types.TransactionID, err error) {
-	var pending []*record
-	apply := func(rec *record) error {
-		if rec.tid > maxTID {
-			maxTID = rec.tid
-		}
-		switch rec.kind {
-		case recInsert, recDelete:
-			pending = append(pending, rec)
-			return nil
-		case recCommit:
-			if rec.cid > maxCID {
-				maxCID = rec.cid
-			}
-			ops := pending
-			pending = nil
-			for _, op := range ops {
-				if err := m.applyOp(op, rec.cid); err != nil {
-					return err
-				}
-			}
-			return nil
-		case recCreateTable:
-			if m.sm.HasTable(rec.table) {
-				return nil // checkpoint raced the DDL append: already in snapshot
-			}
-			return m.sm.AddTable(storage.NewTable(rec.table, rec.defs, rec.chunkSize, rec.useMvcc))
-		case recDropTable:
-			if !m.sm.HasTable(rec.table) {
-				return nil
-			}
-			return m.sm.DropTable(rec.table)
-		case recCreateView:
-			if _, ok := m.sm.GetView(rec.view); ok {
-				return nil
-			}
-			return m.sm.AddView(rec.view, rec.viewSQL)
-		case recDropView:
-			if _, ok := m.sm.GetView(rec.view); !ok {
-				return nil
-			}
-			return m.sm.DropView(rec.view)
-		default:
-			return fmt.Errorf("persistence: replay: unknown record kind %d", rec.kind)
-		}
-	}
-	if _, err := replayWAL(filepath.Join(m.opts.Dir, WALFileName), fromLSN, apply); err != nil {
+	a := NewApplier(m.sm, nil)
+	if _, err := replayWAL(filepath.Join(m.opts.Dir, WALFileName), fromLSN, a.apply); err != nil {
 		return 0, 0, err
 	}
-	// Ops without a commit record cannot survive a torn tail (batches are
-	// atomic), but guard anyway: drop them.
+	maxCID, maxTID = a.MaxIDs()
 	return maxCID, maxTID, nil
-}
-
-// applyOp applies one committed redo operation during replay.
-func (m *Manager) applyOp(rec *record, cid types.CommitID) error {
-	t, err := m.sm.GetTable(rec.table)
-	if err != nil {
-		return fmt.Errorf("persistence: replay references %w", err)
-	}
-	switch rec.kind {
-	case recInsert:
-		if _, err := t.RestoreRowAt(rec.row, rec.values); err != nil {
-			return fmt.Errorf("persistence: replay insert into %q: %w", rec.table, err)
-		}
-		if mvcc := t.GetChunk(rec.row.Chunk).MvccData(); mvcc != nil {
-			mvcc.SetBegin(rec.row.Offset, cid)
-			mvcc.SetEnd(rec.row.Offset, types.MaxCommitID)
-		}
-	case recDelete:
-		if int(rec.row.Chunk) >= t.ChunkCount() {
-			return fmt.Errorf("persistence: replay delete from %q: chunk %d missing", rec.table, rec.row.Chunk)
-		}
-		chunk := t.GetChunk(rec.row.Chunk)
-		if int(rec.row.Offset) >= chunk.Size() {
-			return fmt.Errorf("persistence: replay delete from %q: row %d/%d missing", rec.table, rec.row.Chunk, rec.row.Offset)
-		}
-		if mvcc := chunk.MvccData(); mvcc != nil {
-			mvcc.SetEnd(rec.row.Offset, cid)
-		}
-	}
-	return nil
 }
 
 // AppendCommit implements concurrency.DurabilityHook: it encodes the
@@ -273,7 +204,13 @@ func (m *Manager) Checkpoint() error {
 	if err := writeSnapshotFile(m.opts.Dir, buf); err != nil {
 		return err
 	}
-	if err := m.wal.TruncateFront(cutLSN); err != nil {
+	// The snapshot records the true cut; only the log trim is clamped, so a
+	// pinned follower can still read the suffix it has not shipped yet.
+	truncTo := cutLSN
+	if pinned, ok := m.minPinnedLSN(); ok && pinned < truncTo {
+		truncTo = pinned
+	}
+	if err := m.wal.TruncateFront(truncTo); err != nil {
 		return err
 	}
 	if m.snapshots != nil {

@@ -140,13 +140,24 @@ func readSnapshot(path string, sm *storage.StorageManager) (lsn int64, lastCID t
 		}
 		return 0, 0, err
 	}
+	lsn, lastCID, err = DecodeSnapshot(buf, sm)
+	if err != nil {
+		return 0, 0, fmt.Errorf("persistence: snapshot %s: %w", path, err)
+	}
+	return lsn, lastCID, nil
+}
+
+// DecodeSnapshot loads serialized snapshot bytes — a snapshot file's exact
+// contents, or the stream a replication primary ships for bootstrap — into
+// the (empty) storage manager and returns the WAL cut they were taken at.
+func DecodeSnapshot(buf []byte, sm *storage.StorageManager) (lsn int64, lastCID types.CommitID, err error) {
 	if len(buf) < len(snapMagic)+4 || string(buf[:len(snapMagic)]) != snapMagic {
-		return 0, 0, fmt.Errorf("persistence: %s is not a snapshot file", path)
+		return 0, 0, fmt.Errorf("not a snapshot image")
 	}
 	body := buf[len(snapMagic) : len(buf)-4]
 	wantCRC := binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if crc32.ChecksumIEEE(body) != wantCRC {
-		return 0, 0, fmt.Errorf("persistence: snapshot %s fails CRC check", path)
+		return 0, 0, fmt.Errorf("snapshot fails CRC check")
 	}
 
 	r := &reader{buf: body}

@@ -201,6 +201,14 @@ func (w *WAL) EndLSN() int64 {
 	return w.size
 }
 
+// StartLSN returns the logical offset of the first byte still in the log
+// (raised by front-truncation).
+func (w *WAL) StartLSN() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.start
+}
+
 // appendLocked writes raw framed bytes and flushes them to the OS.
 func (w *WAL) appendLocked(framed []byte) error {
 	if w.broken != nil {

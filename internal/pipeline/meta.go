@@ -22,6 +22,7 @@ func (e *Engine) registerMetaTables() {
 	e.sm.RegisterMetaTable("meta_active_queries", e.buildMetaActiveQueries)
 	e.sm.RegisterMetaTable("meta_statement_stats", e.buildMetaStatementStats)
 	e.sm.RegisterMetaTable("meta_column_scans", e.buildMetaColumnScans)
+	e.sm.RegisterMetaTable("meta_replication", e.buildMetaReplication)
 }
 
 // buildMetaColumnScans snapshots the per-column scan workload statistics:

@@ -142,6 +142,13 @@ type Engine struct {
 	stmtStats  *observe.StatementStats
 	sessionIDs atomic.Int64
 
+	// Replication wiring (see replication.go): a read-only engine rejects
+	// writes and DDL; promoteFn backs SELECT promote_replica(); replRows
+	// feeds the meta_replication table.
+	readOnly  atomic.Bool
+	promoteFn atomic.Pointer[func() error]
+	replRows  atomic.Pointer[func() []ReplicationRow]
+
 	mu       sync.Mutex
 	prepared map[string]string // name -> SQL text
 }
@@ -506,6 +513,14 @@ func (s *Session) ExecuteOneContext(ctx context.Context, sql string) (*Result, e
 }
 
 func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
+	// Read-only enforcement for replica engines: writes and DDL fail fast,
+	// before planning, touching no state. promote_replica() is exempt — it
+	// is the one "write" a replica accepts.
+	if s.engine.readOnly.Load() && !promoteReplicaCall(stmt) {
+		if name := writeStatementName(stmt); name != "" {
+			return nil, fmt.Errorf("%w: cannot execute %s", ErrReadOnly, name)
+		}
+	}
 	switch st := stmt.(type) {
 	case *sqlparser.TransactionStatement:
 		return s.executeTransactionStatement(st)
@@ -560,6 +575,9 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 	default:
 		if arg, ok := cancelQueryCall(stmt); ok {
 			return s.execCancelQuery(arg)
+		}
+		if promoteReplicaCall(stmt) {
+			return s.execPromoteReplica()
 		}
 		return s.runPlanned(ctx, stmt, sqlText, cacheable)
 	}

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hyrise/internal/expression"
+	"hyrise/internal/persistence"
+	"hyrise/internal/sqlparser"
+	"hyrise/internal/storage"
+	"hyrise/internal/types"
+)
+
+// This file is the engine's replication surface: read-only enforcement for
+// follower engines, the promote_replica() control function, the
+// meta_replication virtual table, and the statement classifier the pgwire
+// server uses to route reads to replicas. The replication machinery itself
+// lives in internal/replication; the facade wires the two together.
+
+// ErrReadOnly marks statements rejected because the engine serves a read
+// replica. The pgwire server maps it to SQLSTATE 25006
+// (read_only_sql_transaction).
+var ErrReadOnly = errors.New("read-only replica")
+
+// SetReadOnly flips write/DDL rejection: a follower engine is read-only
+// until promoted.
+func (e *Engine) SetReadOnly(ro bool) { e.readOnly.Store(ro) }
+
+// ReadOnly reports whether the engine rejects writes and DDL.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
+// Persistence exposes the durability manager (nil for in-memory engines) —
+// the replication primary ships its WAL and snapshots.
+func (e *Engine) Persistence() *persistence.Manager { return e.persist }
+
+// SetPromoteFunc installs the engine's promote action, invoked by
+// SELECT promote_replica(). The facade points it at the follower's Promote
+// plus the read-only flip.
+func (e *Engine) SetPromoteFunc(fn func() error) {
+	if fn == nil {
+		e.promoteFn.Store(nil)
+		return
+	}
+	e.promoteFn.Store(&fn)
+}
+
+// ReplicationRow is one row of the meta_replication table. A primary reports
+// one row per connected follower; a follower reports one row about itself.
+type ReplicationRow struct {
+	Role       string // "primary" | "replica"
+	Peer       string // transport endpoint of the other side
+	State      string
+	AppliedLSN int64 // follower apply position (acked position on a primary)
+	EndLSN     int64 // primary log end as last known
+	AppliedCID int64
+	PrimaryCID int64
+	LagBytes   int64
+	LagNS      int64
+}
+
+// SetReplicationRows installs the provider behind meta_replication; nil
+// uninstalls it (the table then reports a single standalone row).
+func (e *Engine) SetReplicationRows(fn func() []ReplicationRow) {
+	if fn == nil {
+		e.replRows.Store(nil)
+		return
+	}
+	e.replRows.Store(&fn)
+}
+
+// buildMetaReplication snapshots the replication topology as a relational
+// table: `SELECT * FROM meta_replication` (console: \replication).
+func (e *Engine) buildMetaReplication() (*storage.Table, error) {
+	defs := []storage.ColumnDefinition{
+		{Name: "role", Type: types.TypeString},
+		{Name: "peer", Type: types.TypeString},
+		{Name: "state", Type: types.TypeString},
+		{Name: "applied_lsn", Type: types.TypeInt64},
+		{Name: "end_lsn", Type: types.TypeInt64},
+		{Name: "applied_cid", Type: types.TypeInt64},
+		{Name: "primary_cid", Type: types.TypeInt64},
+		{Name: "lag_bytes", Type: types.TypeInt64},
+		{Name: "lag_ns", Type: types.TypeInt64},
+	}
+	out := storage.NewTable("meta_replication", defs, 0, false)
+	rows := []ReplicationRow{{Role: "standalone", State: "none"}}
+	if fn := e.replRows.Load(); fn != nil {
+		rows = (*fn)()
+	}
+	for _, r := range rows {
+		if _, err := out.AppendRow([]types.Value{
+			types.Str(r.Role),
+			types.Str(r.Peer),
+			types.Str(r.State),
+			types.Int(r.AppliedLSN),
+			types.Int(r.EndLSN),
+			types.Int(r.AppliedCID),
+			types.Int(r.PrimaryCID),
+			types.Int(r.LagBytes),
+			types.Int(r.LagNS),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out.FinalizeLastChunk()
+	return out, nil
+}
+
+// writeStatementName names statements a read-only engine must reject;
+// "" means the statement is allowed (reads and transaction control).
+func writeStatementName(stmt sqlparser.Statement) string {
+	switch st := stmt.(type) {
+	case *sqlparser.InsertStatement:
+		return "INSERT"
+	case *sqlparser.UpdateStatement:
+		return "UPDATE"
+	case *sqlparser.DeleteStatement:
+		return "DELETE"
+	case *sqlparser.CreateTableStatement:
+		return "CREATE TABLE"
+	case *sqlparser.CreateViewStatement:
+		return "CREATE VIEW"
+	case *sqlparser.DropStatement:
+		if st.IsView {
+			return "DROP VIEW"
+		}
+		return "DROP TABLE"
+	}
+	return ""
+}
+
+// promoteReplicaCall matches "SELECT promote_replica()" — intercepted before
+// planning like cancel_query, and before the read-only guard: promotion is
+// precisely the write a replica accepts.
+func promoteReplicaCall(stmt sqlparser.Statement) bool {
+	sel, ok := stmt.(*sqlparser.SelectStatement)
+	if !ok || len(sel.From) != 0 || len(sel.Items) != 1 || sel.Items[0].Star {
+		return false
+	}
+	fc, ok := sel.Items[0].Expr.(*expression.FunctionCall)
+	return ok && fc.Name == "promote_replica" && len(fc.Args) == 0
+}
+
+// execPromoteReplica promotes a follower engine to standalone read-write,
+// returning a one-row result: 1 when the engine was promoted now, 0 when it
+// was not a replica (or already promoted).
+func (s *Session) execPromoteReplica() (*Result, error) {
+	var hit int64
+	if fn := s.engine.promoteFn.Load(); fn != nil && s.engine.ReadOnly() {
+		if err := (*fn)(); err != nil {
+			return nil, fmt.Errorf("pipeline: promote_replica: %w", err)
+		}
+		hit = 1
+	}
+	defs := []storage.ColumnDefinition{{Name: "promote_replica", Type: types.TypeInt64}}
+	out := storage.NewTable("promote_replica", defs, 0, false)
+	if _, err := out.AppendRow([]types.Value{types.Int(hit)}); err != nil {
+		return nil, err
+	}
+	out.FinalizeLastChunk()
+	return &Result{Table: out, Columns: []string{"promote_replica"}, Tag: "SELECT"}, nil
+}
+
+// RoutableRead reports whether a SQL batch is safe to route to a read
+// replica: every statement is a SELECT over base tables or views. FROM-less
+// selects (control functions like cancel_query, promote_replica, constant
+// expressions) and meta_* reads stay on the local engine — their answers are
+// engine-local state, not replicated data.
+func RoutableRead(sql string) bool {
+	stmts, err := sqlparser.Parse(sql)
+	if err != nil || len(stmts) == 0 {
+		return false
+	}
+	for _, stmt := range stmts {
+		sel, ok := stmt.(*sqlparser.SelectStatement)
+		if !ok || len(sel.From) == 0 {
+			return false
+		}
+		for i := range sel.From {
+			if refersToMeta(&sel.From[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refersToMeta walks a FROM entry (including joins and derived tables) for
+// meta_* table references.
+func refersToMeta(ref *sqlparser.TableRef) bool {
+	if strings.HasPrefix(strings.ToLower(ref.Name), "meta_") {
+		return true
+	}
+	if ref.Subquery != nil {
+		for i := range ref.Subquery.From {
+			if refersToMeta(&ref.Subquery.From[i]) {
+				return true
+			}
+		}
+	}
+	if ref.Join != nil {
+		if refersToMeta(&ref.Join.Left) || refersToMeta(&ref.Join.Right) {
+			return true
+		}
+	}
+	return false
+}

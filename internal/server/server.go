@@ -28,9 +28,22 @@ import (
 // a zero threshold.
 const DefaultSlowQueryThreshold = 250 * time.Millisecond
 
+// ReadRouter picks a read replica able to serve a consistent read at the
+// primary's current commit barrier. AcquireRead returns (engine, true) when
+// a caught-up replica is available within the router's wait budget, and
+// (nil, false) to run the statement on the local engine instead.
+type ReadRouter interface {
+	AcquireRead(ctx context.Context) (*pipeline.Engine, bool)
+}
+
 // Server accepts PostgreSQL wire protocol connections.
 type Server struct {
 	engine *pipeline.Engine
+
+	// router, when set, receives eligible read-only statements (SELECTs over
+	// replicated tables, outside explicit transactions).
+	routerMu sync.Mutex
+	router   ReadRouter
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -64,6 +77,7 @@ type Server struct {
 	connsRejected   *observe.Counter
 	cancelRequests  *observe.Counter
 	slowQueries     *observe.Counter
+	routedReads     *observe.Counter
 	admissionWaitNS *observe.Histogram
 }
 
@@ -109,8 +123,26 @@ func New(engine *pipeline.Engine) *Server {
 		connsRejected:   r.Counter("server_connections_rejected"),
 		cancelRequests:  r.Counter("server_cancel_requests"),
 		slowQueries:     r.Counter("server_slow_queries"),
+		routedReads:     r.Counter("server_routed_reads"),
 		admissionWaitNS: r.Histogram(observe.WaitAdmission.MetricName()),
 	}
+}
+
+// SetReadRouter installs (or, with nil, removes) the read router. With a
+// router in place, simple-protocol SELECTs over user tables that run outside
+// an explicit transaction are executed on the replica the router picks; the
+// router guarantees the replica has applied at least the primary's current
+// commit barrier, so routed reads stay read-your-writes consistent.
+func (s *Server) SetReadRouter(r ReadRouter) {
+	s.routerMu.Lock()
+	s.router = r
+	s.routerMu.Unlock()
+}
+
+func (s *Server) readRouter() ReadRouter {
+	s.routerMu.Lock()
+	defer s.routerMu.Unlock()
+	return s.router
 }
 
 // SetMaxConnections caps the number of concurrently admitted sessions
@@ -524,7 +556,14 @@ func (s *Server) simpleQuery(w *wire, session *pipeline.Session, b *backend, sql
 	}
 	ctx, done := statementContext(b)
 	start := time.Now()
-	results, err := session.ExecuteContext(ctx, sql)
+	exec := session
+	if router := s.readRouter(); router != nil && !session.InTransaction() && pipeline.RoutableRead(sql) {
+		if eng, ok := router.AcquireRead(ctx); ok {
+			exec = eng.NewSession()
+			s.routedReads.Inc()
+		}
+	}
+	results, err := exec.ExecuteContext(ctx, sql)
 	done()
 	rows := 0
 	for _, res := range results {
@@ -533,7 +572,7 @@ func (s *Server) simpleQuery(w *wire, session *pipeline.Session, b *backend, sql
 		}
 		w.writeResult(res)
 	}
-	s.noteQuery(session, sql, time.Since(start), rows)
+	s.noteQuery(exec, sql, time.Since(start), rows)
 	if err != nil {
 		w.writeErrorCode(sqlStateFor(err), err.Error())
 	}
@@ -632,14 +671,19 @@ const (
 	codeInternalError      = "XX000" // internal_error (generic)
 	codeQueryCanceled      = "57014" // query_canceled (cancel + statement timeout)
 	codeTooManyConnections = "53300" // too_many_connections (admission control)
+	codeReadOnly           = "25006" // read_only_sql_transaction (writes at a replica)
 )
 
 // sqlStateFor maps a statement error to its SQLSTATE: canceled and
 // timed-out statements report 57014 query_canceled (what psql expects after
-// a ctrl-C), everything else the generic internal error.
+// a ctrl-C), writes rejected by a read-only replica report 25006
+// read_only_sql_transaction, everything else the generic internal error.
 func sqlStateFor(err error) string {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return codeQueryCanceled
+	}
+	if errors.Is(err, pipeline.ErrReadOnly) {
+		return codeReadOnly
 	}
 	return codeInternalError
 }
