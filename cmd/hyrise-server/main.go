@@ -18,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hyrise"
 	"hyrise/internal/pipeline"
@@ -44,6 +47,10 @@ func main() {
 		replAddr    = flag.String("replication-addr", "", "serve WAL shipping to followers on this address (requires -data-dir)")
 		replicaOf   = flag.String("replica-of", "", "run as a read-only replica of the primary at this replication address")
 		replicas    = flag.Int("replicas", 0, "attach this many in-process read replicas and route SELECTs to them (requires -data-dir)")
+		workers     = flag.Int("workers", 0, "bounded executor pool: this many read workers, half as many write workers (0 = execute on connection goroutines)")
+		queueDepth  = flag.Int("queue-depth", 0, "per-class executor queue depth; a full queue blocks the submitting connection (0 = 4x workers)")
+		slowQueue   = flag.Duration("slow-queue-threshold", server.DefaultSlowQueueThreshold, "route statements whose mean latency exceeds this to the slow queue")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM/SIGINT, let in-flight statements finish for up to this long before force-closing")
 	)
 	flag.Parse()
 
@@ -138,13 +145,40 @@ func main() {
 	if *admitWait > 0 {
 		srv.SetAdmissionWait(*admitWait)
 	}
+	if *workers > 0 {
+		srv.EnableExecutorPool(*workers, *queueDepth, *slowQueue)
+		fmt.Fprintf(os.Stderr, "executor pool: %d read workers, per-class queues (meta_executor_pool)\n", *workers)
+	}
 	actual, err := srv.Listen(*addr)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "hyrise-server listening on %s (PostgreSQL wire protocol)\n", actual)
 	fmt.Fprintf(os.Stderr, "connect with: psql -h %s\n", actual)
-	if err := srv.Serve(); err != nil {
+
+	// SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight
+	// statements finish under the deadline, then force-close stragglers.
+	// Serve returns as soon as the listener closes, so main waits for the
+	// drain itself before exiting.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sigReceived := make(chan struct{})
+	drainDone := make(chan struct{})
+	go func() {
+		sig := <-sigCh
+		close(sigReceived)
+		fmt.Fprintf(os.Stderr, "%s: draining connections (timeout %v)\n", sig, *drainWait)
+		srv.Shutdown(*drainWait)
+		close(drainDone)
+	}()
+	err = srv.Serve()
+	select {
+	case <-sigReceived:
+		<-drainDone
+	default:
+	}
+	if err != nil {
 		fail(err)
 	}
+	fmt.Fprintln(os.Stderr, "server drained")
 }

@@ -219,6 +219,19 @@ func (db *Database) LoadCSV(name string, defs []storage.ColumnDefinition, r io.R
 // are attached (AttachReplica), eligible SELECTs are routed to them at the
 // commit barrier.
 func (db *Database) Serve(addr string) error {
+	srv := db.NewServer()
+	if _, err := srv.Listen(addr); err != nil {
+		return err
+	}
+	return srv.Serve()
+}
+
+// NewServer creates (without starting) a wire-protocol server over this
+// database, for callers that need the production knobs: the bounded executor
+// pool (server.EnableExecutorPool), admission control, the slow-query log,
+// and graceful drain (server.Shutdown). Read routing is wired automatically
+// when replicas are attached.
+func (db *Database) NewServer() *server.Server {
 	srv := server.New(db.engine)
 	db.repl.mu.Lock()
 	routed := len(db.repl.replicas) > 0
@@ -226,10 +239,7 @@ func (db *Database) Serve(addr string) error {
 	if routed {
 		srv.SetReadRouter(db)
 	}
-	if _, err := srv.Listen(addr); err != nil {
-		return err
-	}
-	return srv.Serve()
+	return srv
 }
 
 // RunBenchmark executes named queries with the generic benchmark runner and

@@ -119,6 +119,27 @@ func (s *StatementStats) Snapshot() []StatementStatRow {
 	return out
 }
 
+// MeanNS returns the mean execution latency recorded for the fingerprint, or
+// 0 when it has never been seen. The executor pool uses this to route
+// statements whose fingerprint has historically been slow onto a dedicated
+// queue, keeping fast point reads from queueing behind table scans.
+func (s *StatementStats) MeanNS(fingerprint string) int64 {
+	if s == nil || fingerprint == "" {
+		return 0
+	}
+	s.mu.RLock()
+	e := s.entries[fingerprint]
+	s.mu.RUnlock()
+	if e == nil {
+		return 0
+	}
+	n := e.latencyNS.Count()
+	if n == 0 {
+		return 0
+	}
+	return e.latencyNS.Sum() / n
+}
+
 // Dropped returns how many executions were discarded because the store was
 // at capacity with an unseen fingerprint.
 func (s *StatementStats) Dropped() int64 { return s.dropped.Load() }

@@ -25,6 +25,9 @@ const (
 	// WaitAdmission is time a connection waits for a session slot when the
 	// server is at max-connections (bounded by the admission-wait setting).
 	WaitAdmission
+	// WaitExecutorQueue is time a statement spends queued for an executor
+	// pool worker before execution starts (pgwire backpressure).
+	WaitExecutorQueue
 
 	// NumWaitKinds is the number of wait kinds (for fixed-size aggregation).
 	NumWaitKinds
@@ -41,6 +44,8 @@ func (k WaitKind) String() string {
 		return "mvcc_conflict"
 	case WaitAdmission:
 		return "admission"
+	case WaitExecutorQueue:
+		return "executor_queue"
 	default:
 		return "?"
 	}

@@ -40,7 +40,7 @@ func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 	rowsPerChunk := make([]types.PosList, len(chunks))
 	errs := make([]error, len(chunks))
 
-	simple := analyzeSimplePredicate(op.Predicate)
+	simple := analyzeSimplePredicate(op.Predicate, ctx.Params)
 	cell := ctx.scanStatsCell(input, simple)
 	point := simple != nil && simple.pred.Op.IsPoint()
 
@@ -122,21 +122,44 @@ func scanOpOf(op expression.ComparisonOp) (encoding.ScanOp, bool) {
 	}
 }
 
-// analyzeSimplePredicate recognizes the specializable shapes.
-func analyzeSimplePredicate(e expression.Expression) *simplePredicate {
+// scanOperand resolves a scan operand to a concrete value: a literal
+// directly, a prepared-statement placeholder through the execution's bound
+// parameters. Encoded scans compare against raw codes of the column's type,
+// so a parameter of a different type (say a text value probing an int
+// column) reports false and the predicate degrades to the vectorized
+// fallback, which coerces per the usual comparison rules.
+func scanOperand(e expression.Expression, params []types.Value, dt types.DataType) (types.Value, bool) {
+	switch x := e.(type) {
+	case *expression.Literal:
+		return x.Value, !x.Value.IsNull()
+	case *expression.Parameter:
+		if x.ID < 0 || x.ID >= len(params) {
+			return types.Value{}, false
+		}
+		v := params[x.ID]
+		return v, !v.IsNull() && v.Type == dt
+	}
+	return types.Value{}, false
+}
+
+// analyzeSimplePredicate recognizes the specializable shapes. It runs per
+// execution, so prepared-statement parameters resolve to that execution's
+// bound values and keep the encoded fast paths hot across reuses of one
+// cached plan.
+func analyzeSimplePredicate(e expression.Expression, params []types.Value) *simplePredicate {
 	switch x := e.(type) {
 	case *expression.Comparison:
 		if col, ok := x.Left.(*expression.BoundColumn); ok {
-			if lit, ok := x.Right.(*expression.Literal); ok && !lit.Value.IsNull() {
+			if v, vok := scanOperand(x.Right, params, col.DT); vok {
 				if op, ok := scanOpOf(x.Op); ok {
-					return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: op, Value: lit.Value}}
+					return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: op, Value: v}}
 				}
 			}
 		}
 		if col, ok := x.Right.(*expression.BoundColumn); ok {
-			if lit, ok := x.Left.(*expression.Literal); ok && !lit.Value.IsNull() {
+			if v, vok := scanOperand(x.Left, params, col.DT); vok {
 				if op, ok := scanOpOf(x.Op.Flip()); ok {
-					return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: op, Value: lit.Value}}
+					return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: op, Value: v}}
 				}
 			}
 		}
@@ -145,10 +168,10 @@ func analyzeSimplePredicate(e expression.Expression) *simplePredicate {
 		if !ok {
 			return nil
 		}
-		lo, ok1 := x.Lo.(*expression.Literal)
-		hi, ok2 := x.Hi.(*expression.Literal)
-		if ok1 && ok2 && !lo.Value.IsNull() && !hi.Value.IsNull() {
-			return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: encoding.ScanBetween, Lo: lo.Value, Hi: hi.Value}}
+		lo, ok1 := scanOperand(x.Lo, params, col.DT)
+		hi, ok2 := scanOperand(x.Hi, params, col.DT)
+		if ok1 && ok2 {
+			return &simplePredicate{column: types.ColumnID(col.Index), pred: encoding.ScanPredicate{Op: encoding.ScanBetween, Lo: lo, Hi: hi}}
 		}
 	case *expression.IsNull:
 		if col, ok := x.Child.(*expression.BoundColumn); ok {
@@ -336,7 +359,7 @@ func (op *IndexScan) Inputs() []Operator { return []Operator{op.input} }
 // Run implements Operator.
 func (op *IndexScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
 	input := inputs[0]
-	simple := analyzeSimplePredicate(op.Predicate)
+	simple := analyzeSimplePredicate(op.Predicate, ctx.Params)
 	if simple == nil {
 		// Not index-eligible after all: degrade to a table scan.
 		return NewTableScan(op.input, op.Predicate).Run(ctx, inputs)

@@ -23,6 +23,7 @@ func (e *Engine) registerMetaTables() {
 	e.sm.RegisterMetaTable("meta_statement_stats", e.buildMetaStatementStats)
 	e.sm.RegisterMetaTable("meta_column_scans", e.buildMetaColumnScans)
 	e.sm.RegisterMetaTable("meta_replication", e.buildMetaReplication)
+	e.sm.RegisterMetaTable("meta_executor_pool", e.buildMetaExecutorPool)
 }
 
 // buildMetaColumnScans snapshots the per-column scan workload statistics:

@@ -149,6 +149,15 @@ type Engine struct {
 	promoteFn atomic.Pointer[func() error]
 	replRows  atomic.Pointer[func() []ReplicationRow]
 
+	// Prepared-plan reuse counters (extended-protocol Parse hitting a
+	// session's cached parameterized plan vs. planning afresh).
+	preparedHits   atomic.Int64
+	preparedMisses atomic.Int64
+
+	// Executor-pool wiring (see the server package): poolRows feeds the
+	// meta_executor_pool table when a wire server installs its pool.
+	poolRows atomic.Pointer[func() []PoolRow]
+
 	mu       sync.Mutex
 	prepared map[string]string // name -> SQL text
 }
@@ -167,8 +176,13 @@ type engineMetrics struct {
 }
 
 type cachedPlan struct {
-	root    operators.Operator
-	columns []string
+	root     operators.Operator
+	columns  []string
+	colTypes []types.DataType
+	// epoch is the catalog epoch the plan was built at. Plans embed
+	// *storage.Table pointers, so one built before a DROP or re-CREATE must
+	// never run again; readers compare epochs and rebuild on mismatch.
+	epoch int64
 }
 
 // NewEngine creates an engine over (or with) a storage manager. It panics
@@ -258,6 +272,8 @@ func (e *Engine) initObservability() {
 	r.RegisterFunc("active_queries", func() int64 { return int64(e.active.Len()) })
 	r.RegisterFunc("statement_stats_entries", func() int64 { return int64(e.stmtStats.Len()) })
 	r.RegisterFunc("statement_stats_dropped", func() int64 { return e.stmtStats.Dropped() })
+	r.RegisterFunc("prepared_plan_hits", func() int64 { return e.preparedHits.Load() })
+	r.RegisterFunc("prepared_plan_misses", func() int64 { return e.preparedMisses.Load() })
 	r.RegisterFunc("plan_cache_hits", func() int64 { h, _ := e.planCache.Stats(); return h })
 	r.RegisterFunc("plan_cache_misses", func() int64 { _, m := e.planCache.Stats(); return m })
 	r.RegisterFunc("plan_cache_size", func() int64 { return int64(e.planCache.Len()) })
@@ -377,11 +393,21 @@ type Session struct {
 	backendPID int64
 	activeQ    *observe.ActiveQuery
 	lastTrace  *observe.Trace
+
+	// prepCache reuses parsed/planned prepared statements across repeated
+	// Parse messages of the same SQL (drivers without a statement cache
+	// re-Parse on every query). Keyed by fingerprint, guarded by exact SQL
+	// text and catalog epoch; see Session.PrepareStatement.
+	prepCache *cache.LRU[string, *PreparedStatement]
 }
 
 // NewSession opens a session.
 func (e *Engine) NewSession() *Session {
-	return &Session{engine: e, id: e.sessionIDs.Add(1)}
+	return &Session{
+		engine:    e,
+		id:        e.sessionIDs.Add(1),
+		prepCache: cache.NewLRU[string, *PreparedStatement](preparedCacheSize),
+	}
 }
 
 // ID returns the engine-assigned session number (shown in
@@ -539,6 +565,7 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 				return nil, err
 			}
 		}
+		s.engine.invalidatePlans()
 		return &Result{Tag: "CREATE TABLE"}, nil
 	case *sqlparser.CreateViewStatement:
 		if err := s.engine.sm.AddView(st.Name, st.SQL); err != nil {
@@ -550,6 +577,7 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 				return nil, err
 			}
 		}
+		s.engine.invalidatePlans()
 		return &Result{Tag: "CREATE VIEW"}, nil
 	case *sqlparser.DropStatement:
 		if st.IsView {
@@ -561,6 +589,7 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 					return nil, err
 				}
 			}
+			s.engine.invalidatePlans()
 			return &Result{Tag: "DROP VIEW"}, nil
 		}
 		if err := s.engine.sm.DropTable(st.Name); err != nil {
@@ -571,6 +600,7 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 				return nil, err
 			}
 		}
+		s.engine.invalidatePlans()
 		return &Result{Tag: "DROP TABLE"}, nil
 	default:
 		if arg, ok := cancelQueryCall(stmt); ok {
@@ -579,7 +609,7 @@ func (s *Session) executeStatement(ctx context.Context, stmt sqlparser.Statement
 		if promoteReplicaCall(stmt) {
 			return s.execPromoteReplica()
 		}
-		return s.runPlanned(ctx, stmt, sqlText, cacheable)
+		return s.runPlanned(ctx, stmt, sqlText, cacheable, nil, nil)
 	}
 }
 
@@ -682,8 +712,10 @@ func tagOf(stmt sqlparser.Statement) string {
 // per-statement context (applying the engine's StatementTimeout on top of
 // the caller's context), updates the engine metrics — including the
 // cancellation counters — and, when a trace sink is installed, records and
-// delivers a per-execution trace.
-func (s *Session) runPlanned(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool) (*Result, error) {
+// delivers a per-execution trace. A non-nil pre skips planning and runs
+// that plan (the prepared-statement path); params bind the statement's
+// placeholder slots for this execution.
+func (s *Session) runPlanned(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool, pre *cachedPlan, params []types.Value) (*Result, error) {
 	engine := s.engine
 	m := engine.metrics
 	if ctx == nil {
@@ -702,7 +734,7 @@ func (s *Session) runPlanned(ctx context.Context, stmt sqlparser.Statement, sqlT
 	}
 	s.activeQ.SetState(observe.StatePlanning)
 	start := time.Now()
-	res, err := s.execPlanned(ctx, stmt, sqlText, cacheable, trace)
+	res, err := s.execPlanned(ctx, stmt, sqlText, cacheable, trace, pre, params)
 	m.statements.Inc()
 	s.recordStatementStats(sqlText, time.Since(start), res, err)
 	if err != nil {
@@ -755,17 +787,21 @@ func (s *Session) recordStatementStats(sqlText string, d time.Duration, res *Res
 	s.engine.stmtStats.Record(fp, d, rows, cacheHit, err != nil)
 }
 
-// execPlanned resolves the physical plan (cache or fresh build) and runs it.
-func (s *Session) execPlanned(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool, trace *observe.Trace) (*Result, error) {
+// execPlanned resolves the physical plan (pre-built, cache, or fresh build)
+// and runs it.
+func (s *Session) execPlanned(ctx context.Context, stmt sqlparser.Statement, sqlText string, cacheable bool, trace *observe.Trace, pre *cachedPlan, params []types.Value) (*Result, error) {
 	engine := s.engine
 	isDML := isDMLStatement(stmt)
 	timing := Timing{}
 
 	key := strings.TrimSpace(sqlText)
-	var plan *cachedPlan
+	plan := pre
+	if plan != nil {
+		timing.CacheHit = true
+	}
 	// DML plans are not cached: they capture literal rows.
-	if cacheable && !isDML {
-		if p, ok := engine.planCache.Get(key); ok {
+	if plan == nil && cacheable && !isDML {
+		if p, ok := engine.planCache.Get(key); ok && p.epoch == engine.sm.Epoch() {
 			plan = p
 			timing.CacheHit = true
 		}
@@ -780,12 +816,13 @@ func (s *Session) execPlanned(ctx context.Context, stmt sqlparser.Statement, sql
 			engine.planCache.Put(key, plan)
 		}
 	}
-	return s.executePlan(ctx, plan, stmt, &timing, trace)
+	return s.executePlan(ctx, plan, stmt, &timing, trace, params)
 }
 
 // executePlan runs an already-built physical plan under the session's
-// transaction (explicit when open, auto-commit otherwise).
-func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlparser.Statement, timing *Timing, trace *observe.Trace) (*Result, error) {
+// transaction (explicit when open, auto-commit otherwise). params bind the
+// plan's Parameter slots for this execution.
+func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlparser.Statement, timing *Timing, trace *observe.Trace, params []types.Value) (*Result, error) {
 	engine := s.engine
 	tx := s.tx
 	autoCommit := false
@@ -797,6 +834,7 @@ func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlpar
 	execStart := time.Now()
 	ectx := operators.NewExecContext(engine.sm, engine.sched, tx)
 	ectx.Ctx = ctx
+	ectx.Params = params
 	ectx.DynamicAccess = engine.cfg.DynamicAccess
 	ectx.Trace = trace
 	ectx.Metrics = engine.metrics.exec
@@ -859,6 +897,10 @@ func recordStages(tr *observe.Trace, t Timing) {
 
 // buildPlan runs translate/optimize/PQP-translate.
 func (e *Engine) buildPlan(stmt sqlparser.Statement, timing *Timing) (*cachedPlan, error) {
+	// Capture the epoch before resolving any table: a concurrent DDL after
+	// this point makes the plan stale, and a pre-build epoch guarantees the
+	// staleness is visible to the next epoch comparison.
+	epoch := e.sm.Epoch()
 	start := time.Now()
 	tr := &lqp.Translator{SM: e.sm, UseMvcc: e.cfg.UseMvcc}
 	logical, err := tr.Translate(stmt)
@@ -887,9 +929,16 @@ func (e *Engine) buildPlan(stmt sqlparser.Statement, timing *Timing) (*cachedPla
 	}
 	timing.ToPQP = time.Since(start)
 
+	sch := logical.Schema()
+	colTypes := make([]types.DataType, len(sch))
+	for i, c := range sch {
+		colTypes[i] = c.DT
+	}
 	return &cachedPlan{
-		root:    physical,
-		columns: logical.Schema().Names(),
+		root:     physical,
+		columns:  sch.Names(),
+		colTypes: colTypes,
+		epoch:    epoch,
 	}, nil
 }
 
@@ -959,7 +1008,7 @@ func (s *Session) Explain(sql string) (*ExplainResult, error) {
 	ctx, finish := s.beginQuery(context.Background(), sql)
 	defer finish()
 	trace := observe.NewTrace(strings.TrimSpace(sql))
-	res, err := s.executePlan(ctx, plan, stmt, &timing, trace)
+	res, err := s.executePlan(ctx, plan, stmt, &timing, trace, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -1020,7 +1069,7 @@ func (s *Session) ExecutePrepared(name string, params []types.Value) (*Result, e
 	if err := lqp.BindParameters(stmt, params); err != nil {
 		return nil, err
 	}
-	return s.runPlanned(ctx, stmt, sql, false)
+	return s.runPlanned(ctx, stmt, sql, false, nil, nil)
 }
 
 // ExecuteWithParams parses the SQL, substitutes the '?' placeholders with
@@ -1043,7 +1092,7 @@ func (s *Session) ExecuteWithParamsContext(ctx context.Context, sql string, para
 	if err := lqp.BindParameters(stmt, params); err != nil {
 		return nil, err
 	}
-	return s.runPlanned(ctx, stmt, sql, false)
+	return s.runPlanned(ctx, stmt, sql, false, nil, nil)
 }
 
 // RowStrings renders a result table as printable rows (boundary helper for

@@ -1,0 +1,137 @@
+// Graceful drain. Shutdown stops accepting connections, tells idle sessions
+// to go away with a clean "57P01 admin_shutdown" ErrorResponse, lets busy
+// sessions finish their in-flight statement (or extended-protocol batch, up
+// to its Sync), and force-closes whatever remains when the deadline expires.
+package server
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+)
+
+// connState tracks one connection's position relative to statement
+// boundaries, so a drain can distinguish sessions that are safe to
+// disconnect now from sessions mid-statement. A connection is busy from the
+// moment a message is read until the statement completes — for the extended
+// protocol, from the first Parse/Bind until Sync has been answered.
+type connState struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	busy    bool
+	closing bool // drain requested; disconnect at the next boundary
+}
+
+// idleBoundary marks the connection idle and reports whether a drain wants
+// it gone. Called by the connection goroutine whenever it reaches a
+// statement boundary (before blocking on the next message).
+func (st *connState) idleBoundary() (stop bool) {
+	st.mu.Lock()
+	st.busy = false
+	stop = st.closing
+	st.mu.Unlock()
+	return stop
+}
+
+// beginMessage marks the connection busy. It reports false when a drain
+// already claimed the idle connection — the shutdown notice has been written
+// by Shutdown and the socket is closing, so the handler must just return.
+func (st *connState) beginMessage() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closing && !st.busy {
+		return false
+	}
+	st.busy = true
+	return true
+}
+
+// requestClose asks the connection to disconnect. Idle connections (blocked
+// reading the next message) get the shutdown notice written directly and
+// their socket closed to wake the reader; busy connections are flagged and
+// disconnect themselves at the next statement boundary.
+func (st *connState) requestClose() {
+	st.mu.Lock()
+	st.closing = true
+	idle := !st.busy
+	st.mu.Unlock()
+	if idle {
+		writeShutdownNotice(st.conn)
+		_ = st.conn.Close()
+	}
+}
+
+// Shutdown drains the server: the listener closes immediately, idle
+// connections are disconnected with 57P01, busy connections may finish their
+// current statement, and any connection still alive after timeout is
+// force-closed. A timeout <= 0 waits indefinitely. The executor pool stops
+// after the last connection is gone.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	states := make([]*connState, 0, len(s.conns))
+	for _, st := range s.conns {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+
+	if !alreadyClosed {
+		for _, st := range states {
+			st.requestClose()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case <-done:
+	case <-expired:
+		s.mu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if p := s.pool.Load(); p != nil {
+		p.stop()
+	}
+}
+
+// writeShutdownNotice writes the admin_shutdown ErrorResponse straight to
+// the socket. It is used only for connections parked between statements,
+// whose buffered writer is flushed and whose goroutine is blocked in a read
+// — writing via the raw conn avoids racing that goroutine's bufio.Writer.
+func writeShutdownNotice(conn net.Conn) {
+	var payload []byte
+	add := func(field byte, text string) {
+		payload = append(payload, field)
+		payload = append(payload, []byte(text)...)
+		payload = append(payload, 0)
+	}
+	add('S', "FATAL")
+	add('C', codeAdminShutdown)
+	add('M', "terminating connection due to administrator command")
+	payload = append(payload, 0)
+	frame := make([]byte, 5, 5+len(payload))
+	frame[0] = 'E'
+	binary.BigEndian.PutUint32(frame[1:], uint32(len(payload)+4))
+	frame = append(frame, payload...)
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = conn.Write(frame)
+}

@@ -17,10 +17,12 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyrise/internal/observe"
 	"hyrise/internal/pipeline"
+	"hyrise/internal/sqlparser"
 	"hyrise/internal/types"
 )
 
@@ -45,9 +47,13 @@ type Server struct {
 	routerMu sync.Mutex
 	router   ReadRouter
 
+	// pool, when set, executes statements on bounded per-class worker queues
+	// instead of the connection goroutine (back-pressure under load).
+	pool atomic.Pointer[executorPool]
+
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	wg       sync.WaitGroup
 	closed   bool
 	maxConns int // admission limit on concurrent sessions (0 = unlimited)
@@ -116,7 +122,7 @@ func New(engine *pipeline.Engine) *Server {
 	r := engine.Metrics()
 	return &Server{
 		engine:         engine,
-		conns:          make(map[net.Conn]struct{}),
+		conns:          make(map[net.Conn]*connState),
 		backends:       make(map[uint32]*backend),
 		connsTotal:      r.Counter("server_connections_total"),
 		connsActive:     r.Gauge("server_connections_active"),
@@ -249,15 +255,21 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		st := &connState{conn: conn}
 		s.mu.Lock()
-		s.conns[conn] = struct{}{}
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = st
 		s.mu.Unlock()
 		s.connsTotal.Inc()
 		s.connsActive.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			s.handle(conn, st)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -278,6 +290,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if p := s.pool.Load(); p != nil {
+		p.stop()
+	}
 }
 
 // --- protocol ---------------------------------------------------------------
@@ -293,7 +308,7 @@ type wire struct {
 	w *bufio.Writer
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn net.Conn, st *connState) {
 	defer func() { _ = conn.Close() }()
 	w := &wire{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 
@@ -329,65 +344,76 @@ func (s *Server) handle(conn net.Conn) {
 
 	session := s.engine.NewSession()
 	session.SetBackendPID(int64(b.pid))
-	// Prepared statements of the extended protocol, per connection.
-	prepared := map[string]string{}
-	portals := map[string]boundPortal{}
+	c := &clientConn{
+		srv:     s,
+		w:       w,
+		session: session,
+		b:       b,
+		stmts:   map[string]*preparedStmt{},
+		portals: map[string]*portal{},
+	}
 
+	// inBatch tracks the extended-protocol batch: a connection is busy from
+	// its first extended message until the answering Sync, so a drain never
+	// cuts a pipeline in half.
+	inBatch := false
 	for {
+		if !inBatch {
+			// Statement boundary: the connection is idle here. A drain in
+			// progress disconnects it now, with a clean FATAL 57P01.
+			if st.idleBoundary() {
+				w.writeErrorCode(codeAdminShutdown,
+					"terminating connection due to administrator command")
+				_ = w.w.Flush()
+				return
+			}
+		}
 		msgType, payload, err := w.readMessage()
 		if err != nil {
 			return
 		}
+		if !st.beginMessage() {
+			// A drain claimed the connection while it was idle; the shutdown
+			// notice is already on the wire.
+			return
+		}
+		// After an extended-protocol error, discard everything until Sync
+		// (Terminate still honored).
+		if c.syncErr && msgType != 'S' && msgType != 'X' {
+			continue
+		}
 		switch msgType {
 		case 'Q':
 			sql := cString(payload)
+			delete(c.portals, "") // simple Query destroys the unnamed portal
 			s.simpleQuery(w, session, b, sql)
 		case 'P': // Parse
-			name, rest := splitCString(payload)
-			sql, _ := splitCString(rest)
-			prepared[name] = sql
-			w.writeMessage('1', nil) // ParseComplete
+			inBatch = true
+			c.handleParse(payload)
 		case 'B': // Bind
-			portal, stmt, params, err := parseBind(payload)
-			if err != nil {
-				w.writeError(err.Error())
-				break
-			}
-			sql, ok := prepared[stmt]
-			if !ok {
-				w.writeError(fmt.Sprintf("unknown prepared statement %q", stmt))
-				break
-			}
-			portals[portal] = boundPortal{sql: sql, params: params}
-			w.writeMessage('2', nil) // BindComplete
-		case 'D': // Describe: minimal NoData answer; rows follow on Execute.
-			w.writeMessage('n', nil)
+			inBatch = true
+			c.handleBind(payload)
+		case 'D': // Describe
+			inBatch = true
+			c.handleDescribe(payload)
 		case 'E': // Execute
-			portal, _ := splitCString(payload)
-			p, ok := portals[portal]
-			if !ok {
-				w.writeError(fmt.Sprintf("unknown portal %q", portal))
-				break
-			}
-			s.executePortal(w, session, b, p)
+			inBatch = true
+			c.handleExecute(payload)
+		case 'C': // Close (statement/portal)
+			inBatch = true
+			c.handleClose(payload)
 		case 'S': // Sync
-			w.writeReady(session)
+			c.handleSync()
+			inBatch = false
 		case 'H': // Flush
 			_ = w.w.Flush()
-		case 'C': // Close (statement/portal)
-			w.writeMessage('3', nil) // CloseComplete
 		case 'X': // Terminate
 			return
 		default:
-			w.writeError(fmt.Sprintf("unsupported message %q", msgType))
-			w.writeReady(session)
+			c.protoError(codeProtocolViolation,
+				fmt.Sprintf("unsupported message %q", msgType))
 		}
 	}
-}
-
-type boundPortal struct {
-	sql    string
-	params []string
 }
 
 // startupRequest is the outcome of reading the startup phase: either a
@@ -563,8 +589,18 @@ func (s *Server) simpleQuery(w *wire, session *pipeline.Session, b *backend, sql
 			s.routedReads.Inc()
 		}
 	}
-	results, err := exec.ExecuteContext(ctx, sql)
+	var results []*pipeline.Result
+	var err error
+	class := s.execClass(session, simpleTag(trimmed), sqlparser.Fingerprint(trimmed))
+	runErr := s.runOnPool(ctx, class, func() {
+		results, err = exec.ExecuteContext(ctx, sql)
+	})
 	done()
+	if runErr != nil {
+		w.writeErrorCode(sqlStateFor(runErr), runErr.Error())
+		w.writeReady(session)
+		return
+	}
 	rows := 0
 	for _, res := range results {
 		if res.Table != nil {
@@ -579,29 +615,8 @@ func (s *Server) simpleQuery(w *wire, session *pipeline.Session, b *backend, sql
 	w.writeReady(session)
 }
 
-func (s *Server) executePortal(w *wire, session *pipeline.Session, b *backend, p boundPortal) {
-	// Bind text parameters positionally (one-shot prepared execution).
-	vals := make([]types.Value, len(p.params))
-	for i, raw := range p.params {
-		vals[i] = inferParam(raw)
-	}
-	ctx, done := statementContext(b)
-	start := time.Now()
-	res, err := session.ExecuteWithParamsContext(ctx, p.sql, vals)
-	done()
-	if err != nil {
-		w.writeErrorCode(sqlStateFor(err), err.Error())
-		return
-	}
-	rows := 0
-	if res.Table != nil {
-		rows = res.Table.RowCount()
-	}
-	s.noteQuery(session, p.sql, time.Since(start), rows)
-	w.writeResult(res)
-}
-
-// inferParam guesses the type of a text-format parameter.
+// inferParam guesses the type of a text-format parameter whose slot the
+// planner could not type (legacy heuristic: int, then float, then string).
 func inferParam(raw string) types.Value {
 	if v, err := types.ParseValue(types.TypeInt64, raw); err == nil {
 		return v
@@ -668,10 +683,17 @@ func (w *wire) writeReady(session *pipeline.Session) {
 
 // PostgreSQL SQLSTATE codes the server emits.
 const (
-	codeInternalError      = "XX000" // internal_error (generic)
-	codeQueryCanceled      = "57014" // query_canceled (cancel + statement timeout)
-	codeTooManyConnections = "53300" // too_many_connections (admission control)
-	codeReadOnly           = "25006" // read_only_sql_transaction (writes at a replica)
+	codeInternalError             = "XX000" // internal_error (generic)
+	codeQueryCanceled             = "57014" // query_canceled (cancel + statement timeout)
+	codeTooManyConnections        = "53300" // too_many_connections (admission control)
+	codeReadOnly                  = "25006" // read_only_sql_transaction (writes at a replica)
+	codeAdminShutdown             = "57P01" // admin_shutdown (graceful drain)
+	codeProtocolViolation         = "08P01" // protocol_violation (malformed extended messages)
+	codeInvalidStatementName      = "26000" // invalid_sql_statement_name (unknown prepared statement)
+	codeInvalidCursorName         = "34000" // invalid_cursor_name (unknown portal)
+	codeDuplicateStatement        = "42P05" // duplicate_prepared_statement
+	codeDuplicateCursor           = "42P03" // duplicate_cursor (named portal redefined)
+	codeInvalidTextRepresentation = "22P02" // invalid_text_representation (bad parameter)
 )
 
 // sqlStateFor maps a statement error to its SQLSTATE: canceled and
@@ -684,6 +706,9 @@ func sqlStateFor(err error) string {
 	}
 	if errors.Is(err, pipeline.ErrReadOnly) {
 		return codeReadOnly
+	}
+	if errors.Is(err, errPoolStopped) {
+		return codeAdminShutdown
 	}
 	return codeInternalError
 }
@@ -730,13 +755,6 @@ func (w *wire) writeResult(res *pipeline.Result) {
 		w.writeCommandComplete(res.Tag)
 	}
 }
-
-// PostgreSQL type OIDs for the wire row description.
-const (
-	oidInt8   = 20
-	oidFloat8 = 701
-	oidText   = 25
-)
 
 func (w *wire) writeRowDescription(res *pipeline.Result) {
 	defs := res.Table.ColumnDefinitions()
@@ -818,37 +836,4 @@ func indexByte(b []byte, c byte) int {
 		}
 	}
 	return -1
-}
-
-// parseBind extracts portal, statement, and text-format parameters.
-func parseBind(payload []byte) (portal, stmt string, params []string, err error) {
-	portal, rest := splitCString(payload)
-	stmt, rest = splitCString(rest)
-	if len(rest) < 2 {
-		return "", "", nil, errors.New("short bind message")
-	}
-	nFormats := int(binary.BigEndian.Uint16(rest[:2]))
-	rest = rest[2+2*nFormats:]
-	if len(rest) < 2 {
-		return "", "", nil, errors.New("short bind message")
-	}
-	nParams := int(binary.BigEndian.Uint16(rest[:2]))
-	rest = rest[2:]
-	for i := 0; i < nParams; i++ {
-		if len(rest) < 4 {
-			return "", "", nil, errors.New("short bind parameter")
-		}
-		length := int32(binary.BigEndian.Uint32(rest[:4]))
-		rest = rest[4:]
-		if length < 0 {
-			params = append(params, "") // NULL: treated as empty text
-			continue
-		}
-		if len(rest) < int(length) {
-			return "", "", nil, errors.New("short bind parameter body")
-		}
-		params = append(params, string(rest[:length]))
-		rest = rest[length:]
-	}
-	return portal, stmt, params, nil
 }

@@ -19,7 +19,7 @@ func Fingerprint(sql string) string {
 	for _, tok := range toks {
 		switch tok.kind {
 		case tokEOF:
-		case tokNumber, tokString:
+		case tokNumber, tokString, tokParam:
 			parts = append(parts, "?")
 		default:
 			parts = append(parts, tok.text)

@@ -22,6 +22,7 @@ const (
 	tokNumber
 	tokString
 	tokOperator // = <> < <= > >= + - * / % ( ) , . ? ;
+	tokParam    // $N positional parameter (text is the 1-based number)
 )
 
 type token struct {
@@ -76,6 +77,10 @@ func lex(src string) ([]token, error) {
 			}
 		case c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
 			l.lexNumber(start)
+		case c == '$':
+			if err := l.lexParam(start); err != nil {
+				return nil, err
+			}
 		default:
 			if err := l.lexOperator(start); err != nil {
 				return nil, err
@@ -150,6 +155,22 @@ func (l *lexer) lexNumber(start int) {
 	}
 done:
 	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+// lexParam consumes a PostgreSQL-style positional parameter ($1, $2, ...),
+// the placeholder syntax every real Postgres driver emits over the extended
+// query protocol. The '?' placeholder remains supported for hand-written SQL.
+func (l *lexer) lexParam(start int) error {
+	l.pos++ // '$'
+	digits := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos == digits {
+		return fmt.Errorf("sqlparser: '$' must be followed by a parameter number at offset %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokParam, text: l.src[digits:l.pos], pos: start})
+	return nil
 }
 
 func (l *lexer) lexString(start int) error {

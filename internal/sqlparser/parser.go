@@ -643,6 +643,19 @@ func (p *parser) parseUnary() (expression.Expression, error) {
 func (p *parser) parsePrimary() (expression.Expression, error) {
 	t := p.peek()
 	switch t.kind {
+	case tokParam:
+		p.i++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, p.errorf("bad parameter number $%s", t.text)
+		}
+		// $N is 1-based on the wire; Parameter IDs are 0-based slots. Keep
+		// the sequential '?' counter past the highest explicit number so the
+		// two styles can mix without colliding.
+		if n > p.paramID {
+			p.paramID = n
+		}
+		return &expression.Parameter{ID: n - 1}, nil
 	case tokNumber:
 		p.i++
 		if strings.ContainsAny(t.text, ".eE") {

@@ -293,6 +293,37 @@ func TestParseParameters(t *testing.T) {
 	}
 }
 
+func TestParseDollarParameters(t *testing.T) {
+	// $N is the placeholder syntax Postgres drivers send; IDs are 0-based
+	// slots, repeats share a slot, and out-of-order numbering works.
+	s := mustSelect(t, "SELECT a FROM t WHERE a = $2 AND b = $1 AND c = $2")
+	preds := expression.SplitConjunction(s.Where)
+	ids := make([]int, len(preds))
+	for i, p := range preds {
+		ids[i] = p.(*expression.Comparison).Right.(*expression.Parameter).ID
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 0 || ids[2] != 1 {
+		t.Errorf("param ids = %v, want [1 0 1]", ids)
+	}
+
+	// Mixed styles: '?' continues past the highest explicit $N.
+	s = mustSelect(t, "SELECT a FROM t WHERE a = $2 AND b = ?")
+	preds = expression.SplitConjunction(s.Where)
+	if got := preds[1].(*expression.Comparison).Right.(*expression.Parameter).ID; got != 2 {
+		t.Errorf("'?' after $2 got ID %d, want 2", got)
+	}
+
+	if _, err := Parse("SELECT $ FROM t"); err == nil {
+		t.Error("bare '$' should be a lex error")
+	}
+}
+
+func TestFingerprintDollarParameters(t *testing.T) {
+	if got, want := Fingerprint("SELECT a FROM t WHERE a = $1"), Fingerprint("SELECT a FROM t WHERE a = ?"); got != want {
+		t.Errorf("fingerprint($1) = %q, want %q", got, want)
+	}
+}
+
 func TestParseLiteralsAndNegation(t *testing.T) {
 	s := mustSelect(t, "SELECT -5, -1.5, 'str', NULL, TRUE, FALSE, -(a)")
 	if lit := s.Items[0].Expr.(*expression.Literal); lit.Value.I != -5 {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hyrise/internal/types"
 )
@@ -24,6 +25,12 @@ type StorageManager struct {
 	tables map[string]*Table
 	views  map[string]string // view name -> SQL text (embedded at planning time)
 	meta   map[string]MetaTableProvider
+
+	// epoch counts catalog mutations (table/view add/drop). Cached plans
+	// embed table pointers; consumers record the epoch at build time and
+	// rebuild when it moved, so no plan ever executes against a dropped or
+	// re-created table.
+	epoch atomic.Int64
 }
 
 // NewStorageManager creates an empty catalog.
@@ -51,8 +58,13 @@ func (sm *StorageManager) AddTable(t *Table) error {
 		return fmt.Errorf("storage: %q is a reserved meta-table name", t.Name())
 	}
 	sm.tables[key] = t
+	sm.epoch.Add(1)
 	return nil
 }
+
+// Epoch returns the catalog mutation counter. It advances on every table or
+// view registration/removal; plan caches compare it to detect staleness.
+func (sm *StorageManager) Epoch() int64 { return sm.epoch.Load() }
 
 // GetTable looks a table up by name (case-insensitive). Meta-table names
 // resolve to a freshly materialized snapshot; base tables shadow them.
@@ -110,6 +122,7 @@ func (sm *StorageManager) DropTable(name string) error {
 		return fmt.Errorf("storage: no table named %q", name)
 	}
 	delete(sm.tables, key)
+	sm.epoch.Add(1)
 	return nil
 }
 
@@ -135,6 +148,7 @@ func (sm *StorageManager) AddView(name, sql string) error {
 		return fmt.Errorf("storage: view %q already exists", name)
 	}
 	sm.views[key] = sql
+	sm.epoch.Add(1)
 	return nil
 }
 
@@ -166,6 +180,7 @@ func (sm *StorageManager) DropView(name string) error {
 		return fmt.Errorf("storage: no view named %q", name)
 	}
 	delete(sm.views, key)
+	sm.epoch.Add(1)
 	return nil
 }
 
