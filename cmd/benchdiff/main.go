@@ -5,11 +5,18 @@
 //	go test ./internal/benchmark -bench '^BenchmarkMicro' -benchtime=1x -count=5 | \
 //	    benchdiff parse -out BENCH_PR.json
 //	benchdiff compare -baseline BENCH_BASELINE.json -current BENCH_PR.json -threshold 25
+//	benchdiff speedup -current BENCH_PR.json -require BenchmarkMicroSort=1.3
 //
 // parse keeps the MINIMUM ns/op across repeated runs of the same benchmark
 // (-count=N): the minimum is the least noisy estimator of the true cost on
 // shared CI hardware. compare exits non-zero when any benchmark present in
-// both snapshots regressed by more than the threshold percentage.
+// both snapshots regressed by more than the threshold percentage; benchmarks
+// only present in the current run are registered, not gated (they gate once
+// the baseline is refreshed). speedup reads a single snapshot, pairs every
+// X/serial sub-benchmark with its X/parallel (or X/radix) sibling, and exits
+// non-zero when a -require'd pair is missing or below its minimum serial ÷
+// parallel ratio — the multi-core CI lane's proof that parallel paths
+// actually beat serial ones.
 package main
 
 import (
@@ -53,6 +60,8 @@ func main() {
 		cmdParse(os.Args[2:])
 	case "compare":
 		cmdCompare(os.Args[2:])
+	case "speedup":
+		cmdSpeedup(os.Args[2:])
 	case "promlint":
 		cmdPromlint()
 	default:
@@ -64,6 +73,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   benchdiff parse [-out file.json] < go-test-bench-output
   benchdiff compare -baseline base.json -current cur.json [-threshold pct]
+  benchdiff speedup -current cur.json [-min ratio] [-require Name=ratio]...
   benchdiff promlint < openmetrics-exposition
 `)
 	os.Exit(2)
@@ -209,10 +219,18 @@ func cmdCompare(args []string) {
 		}
 		fmt.Printf("%-9s %-45s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", status, name, b.NsPerOp, c.NsPerOp, delta)
 	}
+	var newNames []string
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("NEW      %-45s %12.0f ns/op (not in baseline)\n", name, cur.Benchmarks[name].NsPerOp)
+			newNames = append(newNames, name)
 		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		// A benchmark missing from the baseline is registered, not gated: it
+		// starts gating regressions once the baseline is refreshed, and its
+		// absence never fails the build.
+		fmt.Printf("NEW      %-45s %12.0f ns/op (registered, not gated — refresh baseline to gate)\n", name, cur.Benchmarks[name].NsPerOp)
 	}
 
 	if failed > 0 {
@@ -220,6 +238,143 @@ func cmdCompare(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("\nbenchdiff: no regression beyond %.0f%%\n", *threshold)
+}
+
+// requirement is one -require Name=ratio gate for the speedup subcommand.
+type requirement struct {
+	Name string
+	Min  float64
+}
+
+// requireFlags collects repeatable -require flags.
+type requireFlags []requirement
+
+func (r *requireFlags) String() string {
+	parts := make([]string, len(*r))
+	for i, req := range *r {
+		parts[i] = fmt.Sprintf("%s=%g", req.Name, req.Min)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *requireFlags) Set(s string) error {
+	name, ratio, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want Name=ratio, got %q", s)
+	}
+	min, err := strconv.ParseFloat(ratio, 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("bad ratio in %q", s)
+	}
+	*r = append(*r, requirement{Name: name, Min: min})
+	return nil
+}
+
+func cmdSpeedup(args []string) {
+	fs := flag.NewFlagSet("speedup", flag.ExitOnError)
+	curPath := fs.String("current", "", "snapshot JSON containing */serial and */parallel (or */radix) sub-benchmarks")
+	minAll := fs.Float64("min", 0, "minimum speedup for every detected pair (0 = report only)")
+	var reqs requireFlags
+	fs.Var(&reqs, "require", "Name=ratio minimum speedup for one benchmark (repeatable)")
+	_ = fs.Parse(args)
+	if *curPath == "" {
+		usage()
+	}
+	cur, err := loadSnapshot(*curPath)
+	if err != nil {
+		fatal(err)
+	}
+	if failed := runSpeedup(cur, *minAll, reqs, os.Stdout); failed > 0 {
+		fmt.Printf("\nbenchdiff: %d speedup gate(s) failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: all speedup gates passed\n")
+}
+
+// speedupPair is a detected serial/parallel sibling pair.
+type speedupPair struct {
+	serialNS   float64
+	parallelNS float64
+	variant    string // the sub-benchmark name paired against serial
+}
+
+// speedupVariants are the sub-benchmark names accepted as the parallel side
+// of a pair, in preference order.
+var speedupVariants = []string{"parallel", "radix"}
+
+// detectSpeedupPairs pairs every X/serial entry with its X/parallel (or
+// X/radix) sibling, keyed by the parent benchmark name X.
+func detectSpeedupPairs(snap *Snapshot) map[string]speedupPair {
+	pairs := map[string]speedupPair{}
+	for name, res := range snap.Benchmarks {
+		parent, ok := strings.CutSuffix(name, "/serial")
+		if !ok {
+			continue
+		}
+		for _, v := range speedupVariants {
+			if sib, ok := snap.Benchmarks[parent+"/"+v]; ok {
+				pairs[parent] = speedupPair{serialNS: res.NsPerOp, parallelNS: sib.NsPerOp, variant: v}
+				break
+			}
+		}
+	}
+	return pairs
+}
+
+// runSpeedup reports the serial ÷ parallel ratio of every detected pair and
+// returns how many gates failed: a pair below its required minimum, or a
+// -require'd benchmark with no pair in the snapshot (a gate that cannot run
+// must fail loudly — otherwise a renamed benchmark silently stops gating).
+// Detected pairs without a specific requirement are gated by minAll (0 =
+// report only).
+func runSpeedup(snap *Snapshot, minAll float64, reqs []requirement, w io.Writer) int {
+	pairs := detectSpeedupPairs(snap)
+	required := make(map[string]float64, len(reqs))
+	for _, r := range reqs {
+		required[r.Name] = r.Min
+	}
+
+	names := make([]string, 0, len(pairs))
+	for name := range pairs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		p := pairs[name]
+		min := minAll
+		if m, ok := required[name]; ok {
+			min = m
+			delete(required, name)
+		}
+		ratio := 0.0
+		if p.parallelNS > 0 {
+			ratio = p.serialNS / p.parallelNS
+		}
+		status := "ok"
+		switch {
+		case min <= 0:
+			status = "report"
+		case ratio < min:
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%-7s %-45s serial %12.0f ns/op / %s %12.0f ns/op = %.2fx (min %.2fx)\n",
+			status, name, p.serialNS, p.variant, p.parallelNS, ratio, min)
+	}
+
+	missing := make([]string, 0, len(required))
+	for name := range required {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "FAIL    %-45s required pair not found (need %s/serial plus %s/parallel or %s/radix)\n",
+			name, name, name, name)
+		failed++
+	}
+	return failed
 }
 
 func loadSnapshot(path string) (*Snapshot, error) {

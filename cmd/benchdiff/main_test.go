@@ -51,3 +51,78 @@ func TestParseBenchStripsGOMAXPROCSSuffix(t *testing.T) {
 		t.Fatalf("suffix not stripped: %v", snap.Benchmarks)
 	}
 }
+
+func speedupSnap(ns map[string]float64) *Snapshot {
+	s := &Snapshot{Benchmarks: map[string]Result{}}
+	for name, v := range ns {
+		s.Benchmarks[name] = Result{NsPerOp: v, Runs: 1}
+	}
+	return s
+}
+
+func TestSpeedupPairDetection(t *testing.T) {
+	snap := speedupSnap(map[string]float64{
+		"BenchmarkMicroSort/serial":      300,
+		"BenchmarkMicroSort/parallel":    100,
+		"BenchmarkMicroJoin/serial":      200,
+		"BenchmarkMicroJoin/radix":       100, // radix is the parallel sibling
+		"BenchmarkMicroScanDict/encoded": 50,  // no serial sibling: not a pair
+	})
+	pairs := detectSpeedupPairs(snap)
+	if len(pairs) != 2 {
+		t.Fatalf("detected %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	if p := pairs["BenchmarkMicroSort"]; p.variant != "parallel" || p.serialNS != 300 || p.parallelNS != 100 {
+		t.Errorf("sort pair = %+v", p)
+	}
+	if p := pairs["BenchmarkMicroJoin"]; p.variant != "radix" {
+		t.Errorf("join pair should fall back to radix, got %+v", p)
+	}
+}
+
+func TestSpeedupGates(t *testing.T) {
+	snap := speedupSnap(map[string]float64{
+		"BenchmarkMicroSort/serial":   300,
+		"BenchmarkMicroSort/parallel": 100, // 3.0x
+		"BenchmarkMicroScan/serial":   110,
+		"BenchmarkMicroScan/parallel": 100, // 1.1x
+	})
+	var out strings.Builder
+
+	// Passing gate.
+	if failed := runSpeedup(snap, 0, []requirement{{Name: "BenchmarkMicroSort", Min: 1.3}}, &out); failed != 0 {
+		t.Fatalf("3.0x speedup failed a 1.3x gate: %d\n%s", failed, out.String())
+	}
+	// Failing gate: 1.1x < 1.3x.
+	if failed := runSpeedup(snap, 0, []requirement{{Name: "BenchmarkMicroScan", Min: 1.3}}, &out); failed != 1 {
+		t.Fatalf("1.1x speedup passed a 1.3x gate: %d", failed)
+	}
+	// A required pair missing from the snapshot must fail loudly — a renamed
+	// benchmark must not silently stop gating.
+	if failed := runSpeedup(snap, 0, []requirement{{Name: "BenchmarkGone", Min: 1.3}}, &out); failed != 1 {
+		t.Fatalf("missing required pair did not fail: %d", failed)
+	}
+	// Without requirements or -min, everything is report-only.
+	if failed := runSpeedup(snap, 0, nil, &out); failed != 0 {
+		t.Fatalf("report-only run failed: %d", failed)
+	}
+	// -min applies to all detected pairs.
+	if failed := runSpeedup(snap, 1.2, nil, &out); failed != 1 {
+		t.Fatalf("global min 1.2 should fail only the 1.1x pair: %d", failed)
+	}
+}
+
+func TestRequireFlagParsing(t *testing.T) {
+	var r requireFlags
+	if err := r.Set("BenchmarkMicroSort=1.3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0].Name != "BenchmarkMicroSort" || r[0].Min != 1.3 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []string{"NoEquals", "=1.3", "Name=", "Name=0", "Name=-1", "Name=x"} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}

@@ -346,6 +346,18 @@ type ExecMetrics struct {
 	// ScanEncodedAggregates counts chunks whose aggregation was answered
 	// directly on encoded segments (COUNT/SUM/MIN/MAX fast path).
 	ScanEncodedAggregates *Counter
+	// ScanMorsels accumulates the morsel counts of parallel table scans
+	// (serial scans add nothing — the counter measures real fan-out).
+	ScanMorsels *Counter
+	// ScanParallelNS accumulates wall nanoseconds of morsel-parallel scan
+	// phases (elapsed time, not summed per-task CPU work).
+	ScanParallelNS *Counter
+	// SortRuns accumulates the run counts of parallel sorts (per-run sort +
+	// k-way merge; serial sorts add nothing).
+	SortRuns *Counter
+	// SortParallelNS accumulates wall nanoseconds of parallel sort phases
+	// (run sorting plus the merge).
+	SortParallelNS *Counter
 }
 
 // NewExecMetrics resolves the executor counters from a registry.
@@ -365,5 +377,10 @@ func NewExecMetrics(r *Registry) *ExecMetrics {
 		ScanSegmentsUnencoded: r.Counter("scan.segments_unencoded"),
 		ScanSegmentsDecoded:   r.Counter("scan.segments_decoded"),
 		ScanEncodedAggregates: r.Counter("scan.encoded_aggregates"),
+
+		ScanMorsels:    r.Counter("operator.scan.morsels"),
+		ScanParallelNS: r.Counter("scan.parallel_ns"),
+		SortRuns:       r.Counter("operator.sort.runs"),
+		SortParallelNS: r.Counter("sort.parallel_ns"),
 	}
 }

@@ -55,11 +55,11 @@ func TestWriteOpenMetricsPassesLint(t *testing.T) {
 
 func TestLintOpenMetricsRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
-		"missing EOF": "# TYPE a counter\na_total 1\n",
-		"bad name charset": "# TYPE hyrise-bad counter\nhyrise-bad_total 1\n# EOF\n",
+		"missing EOF":            "# TYPE a counter\na_total 1\n",
+		"bad name charset":       "# TYPE hyrise-bad counter\nhyrise-bad_total 1\n# EOF\n",
 		"counter without _total": "# TYPE a counter\na 1\n# EOF\n",
-		"sample before TYPE": "a 1\n# EOF\n",
-		"foreign sample": "# TYPE a gauge\nb 1\n# EOF\n",
+		"sample before TYPE":     "a 1\n# EOF\n",
+		"foreign sample":         "# TYPE a gauge\nb 1\n# EOF\n",
 		"non-cumulative buckets": "# TYPE h histogram\n" +
 			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n# EOF\n",
 		"non-increasing le": "# TYPE h histogram\n" +
@@ -69,7 +69,7 @@ func TestLintOpenMetricsRejectsBadInput(t *testing.T) {
 		"count mismatch": "# TYPE h histogram\n" +
 			"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n# EOF\n",
 		"duplicate TYPE": "# TYPE a counter\na_total 1\n# TYPE a counter\na_total 1\n# EOF\n",
-		"bad value": "# TYPE a gauge\na xyz\n# EOF\n",
+		"bad value":      "# TYPE a gauge\na xyz\n# EOF\n",
 		"bad label name": "# TYPE h histogram\nh_bucket{0le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n# EOF\n",
 	}
 	for name, text := range cases {

@@ -326,27 +326,41 @@ func (ps *pairSet) append(l, r types.RowID, li, ri int32) {
 
 // Run implements Operator: the build/probe either runs single-threaded
 // (serial strategy, small inputs, or no multi-worker scheduler) or through
-// the radix-partitioned parallel path (join_radix.go). Both produce pairs
-// in identical order, so results are bit-for-bit equal.
+// the radix-partitioned parallel path (join_radix.go). On the radix path,
+// key evaluation is fused with partitioning (partitionKeysOverTable): each
+// morsel's keys scatter into hash buckets as they materialize, so the scan
+// output streams into the partitioner without an intermediate table-wide key
+// array. Both paths produce pairs in identical order, so results are
+// bit-for-bit equal.
 func (j *HashJoin) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
 	leftT, rightT := inputs[0], inputs[1]
 
-	rightVals, rightRows, err := evalKeysOverTable(ctx, rightT, j.RightKeys)
-	if err != nil {
-		return nil, err
-	}
-	leftVals, leftRows, err := evalKeysOverTable(ctx, leftT, j.LeftKeys)
-	if err != nil {
-		return nil, err
-	}
-
 	var ps pairSet
-	if parts := ctx.radixPartitions(len(leftVals) + len(rightVals)); parts > 1 {
-		ps, err = radixJoinPairs(ctx, j, leftVals, rightVals, leftRows, rightRows, parts)
+	var leftRows, rightRows types.PosList
+	if parts := ctx.radixPartitions(leftT.RowCount() + rightT.RowCount()); parts > 1 {
+		build, rRows, err := partitionKeysOverTable(ctx, rightT, j.RightKeys, parts)
+		if err != nil {
+			return nil, err
+		}
+		probe, lRows, err := partitionKeysOverTable(ctx, leftT, j.LeftKeys, parts)
+		if err != nil {
+			return nil, err
+		}
+		leftRows, rightRows = lRows, rRows
+		ps, err = radixJoinPairs(ctx, j, build, probe, leftRows, rightRows, parts)
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		rightVals, rRows, err := evalKeysOverTable(ctx, rightT, j.RightKeys)
+		if err != nil {
+			return nil, err
+		}
+		leftVals, lRows, err := evalKeysOverTable(ctx, leftT, j.LeftKeys)
+		if err != nil {
+			return nil, err
+		}
+		leftRows, rightRows = lRows, rRows
 		ps = j.serialPairs(ctx, leftVals, rightVals, leftRows, rightRows)
 	}
 

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyrise/internal/expression"
+	"hyrise/internal/storage"
 	"hyrise/internal/types"
 )
 
@@ -82,99 +84,136 @@ func fnv64str(s string) uint64 {
 }
 
 // joinPartition is one side's rows falling into one hash partition. idx
-// holds global row indices (into the side's vals/rows slices) in ascending
-// order; keys are the pre-rendered composite key strings.
+// holds global row indices (into the side's rows slice) in ascending order;
+// keys are the pre-rendered composite key strings.
 type joinPartition struct {
 	keys []string
 	idx  []int32
 }
 
-// partitionRangeRows bounds the work of one partitioning task.
-const partitionRangeRows = 16384
-
-// partitionSide splits one join side into parts hash partitions, in
-// parallel over row ranges. NULL-key rows are dropped (NULL never joins);
-// they remain visible to finish through the side's global rows slice.
-func partitionSide(ctx *ExecContext, vals [][]types.Value, parts int) []joinPartition {
-	n := len(vals)
-	mask := uint64(parts - 1)
-	ranges := (n + partitionRangeRows - 1) / partitionRangeRows
-	if ranges < 1 {
-		ranges = 1
+// partitionKeysOverTable fuses key materialization with hash partitioning:
+// each morsel (a run of consecutive chunks, the same units a parallel
+// TableScan dispatches) evaluates the key expressions over its chunks and
+// scatters rows into private per-partition buckets as soon as they
+// materialize. The scan's output streams straight into the radix partitioner
+// — no table-wide [][]Value key array is ever built, which both removes the
+// materialization barrier between the phases and halves the passes over the
+// keys. NULL-key rows are dropped (NULL never joins); they remain visible to
+// finish through the returned global rows slice.
+//
+// Each morsel covers a contiguous global row range and buckets are
+// concatenated in morsel order, so every partition keeps ascending global
+// row order — the invariant mergePairSets needs to reproduce serial output.
+func partitionKeysOverTable(ctx *ExecContext, t *storage.Table, keys []expression.Expression, parts int) ([]joinPartition, types.PosList, error) {
+	chunks := t.Chunks()
+	// base[ci] is the global row index of chunk ci's first row.
+	base := make([]int, len(chunks))
+	total := 0
+	for ci, c := range chunks {
+		base[ci] = total
+		total += c.Size()
 	}
-	// Each range job fills its own buckets; no shared mutable state.
-	type rangeBuckets struct {
+	rows := make(types.PosList, total)
+	mask := uint64(parts - 1)
+
+	morsels := morselRanges(chunks, ctx.morselTargetRows())
+	type morselBuckets struct {
 		keys [][]string
 		idx  [][]int32
+		err  error
 	}
-	buckets := make([]rangeBuckets, ranges)
-	jobs := make([]func(), ranges)
-	for r := 0; r < ranges; r++ {
-		r := r
-		jobs[r] = func() {
-			lo := r * partitionRangeRows
-			hi := min(lo+partitionRangeRows, n)
-			b := rangeBuckets{keys: make([][]string, parts), idx: make([][]int32, parts)}
+	buckets := make([]morselBuckets, len(morsels))
+	jobs := make([]func(), len(morsels))
+	for mi, m := range morsels {
+		mi, m := mi, m
+		jobs[mi] = func() {
+			b := morselBuckets{keys: make([][]string, parts), idx: make([][]int32, parts)}
 			var sb strings.Builder
-			for i := lo; i < hi; i++ {
-				if i%radixCancelStride == 0 && ctx.Err() != nil {
+			tuple := make([]types.Value, len(keys))
+			for ci := m.lo; ci < m.hi; ci++ {
+				if ctx.Err() != nil {
 					return
 				}
-				k, ok := compositeKey(&sb, vals[i])
-				if !ok {
+				c := chunks[ci]
+				n := c.Size()
+				if n == 0 {
 					continue
 				}
-				p := fnv64str(k) & mask
-				b.keys[p] = append(b.keys[p], k)
-				b.idx[p] = append(b.idx[p], int32(i))
+				ec := ctx.evalContext(t, c, n)
+				vecs := make([]*expression.Vector, len(keys))
+				for i, k := range keys {
+					v, err := expression.Evaluate(k, ec)
+					if err != nil {
+						b.err = err
+						buckets[mi] = b
+						return
+					}
+					vecs[i] = v
+				}
+				for row := 0; row < n; row++ {
+					if row%radixCancelStride == 0 && ctx.Err() != nil {
+						return
+					}
+					gi := base[ci] + row
+					rows[gi] = types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(row)}
+					for i, v := range vecs {
+						tuple[i] = v.ValueAt(row)
+					}
+					k, ok := compositeKey(&sb, tuple)
+					if !ok {
+						continue
+					}
+					p := fnv64str(k) & mask
+					b.keys[p] = append(b.keys[p], k)
+					b.idx[p] = append(b.idx[p], int32(gi))
+				}
 			}
-			buckets[r] = b
+			buckets[mi] = b
 		}
 	}
 	ctx.runJobs(jobs)
-	if ctx.Err() != nil {
-		return nil
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	for mi := range buckets {
+		if buckets[mi].err != nil {
+			return nil, nil, buckets[mi].err
+		}
 	}
 
-	// Concatenate the range buckets per partition, in range order, so each
+	// Concatenate the morsel buckets per partition, in morsel order, so each
 	// partition keeps ascending global row order.
 	out := make([]joinPartition, parts)
 	concat := make([]func(), parts)
 	for p := 0; p < parts; p++ {
 		p := p
 		concat[p] = func() {
-			total := 0
-			for r := range buckets {
-				total += len(buckets[r].keys[p])
+			n := 0
+			for mi := range buckets {
+				n += len(buckets[mi].keys[p])
 			}
-			if total == 0 {
+			if n == 0 {
 				return
 			}
-			keys := make([]string, 0, total)
-			idx := make([]int32, 0, total)
-			for r := range buckets {
-				keys = append(keys, buckets[r].keys[p]...)
-				idx = append(idx, buckets[r].idx[p]...)
+			ks := make([]string, 0, n)
+			idx := make([]int32, 0, n)
+			for mi := range buckets {
+				ks = append(ks, buckets[mi].keys[p]...)
+				idx = append(idx, buckets[mi].idx[p]...)
 			}
-			out[p] = joinPartition{keys: keys, idx: idx}
+			out[p] = joinPartition{keys: ks, idx: idx}
 		}
 	}
 	ctx.runJobs(concat)
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, rows, nil
 }
 
-// radixJoinPairs runs the partitioned build+probe and returns the candidate
-// pairs in serial probe order.
-func radixJoinPairs(ctx *ExecContext, j *HashJoin, leftVals, rightVals [][]types.Value, leftRows, rightRows types.PosList, parts int) (pairSet, error) {
-	build := partitionSide(ctx, rightVals, parts)
-	if err := ctx.Err(); err != nil {
-		return pairSet{}, err
-	}
-	probe := partitionSide(ctx, leftVals, parts)
-	if err := ctx.Err(); err != nil {
-		return pairSet{}, err
-	}
-
+// radixJoinPairs runs the partitioned build+probe over pre-partitioned sides
+// and returns the candidate pairs in serial probe order.
+func radixJoinPairs(ctx *ExecContext, j *HashJoin, build, probe []joinPartition, leftRows, rightRows types.PosList, parts int) (pairSet, error) {
 	results := make([]pairSet, parts)
 	var buildNS, probeNS atomic.Int64
 	jobs := make([]func(), parts)

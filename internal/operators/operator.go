@@ -74,6 +74,24 @@ type ParallelOptions struct {
 	// the aggregate merge runs hash-sharded in parallel. 0 selects the
 	// default; negative disables the parallel merge entirely.
 	ParallelMergeThreshold int
+	// ScanStrategy selects the table scan path: Auto (morsel-parallel when
+	// the estimated cost — rows × selectivity from the statistics
+	// histograms — clears ScanParallelThreshold), Serial, or Force.
+	ScanStrategy ParallelStrategy
+	// ScanParallelThreshold is the estimated scan cost at or above which the
+	// auto strategy dispatches morsels. 0 selects the default (16384);
+	// negative disables parallel scans.
+	ScanParallelThreshold int
+	// ScanMorselRows is the row budget of one scan morsel (0 = default
+	// 65536): consecutive chunks coalesce until the budget fills.
+	ScanMorselRows int
+	// SortStrategy selects the sort path: Auto (parallel run sort + k-way
+	// merge above SortParallelThreshold rows), Serial, or Force.
+	SortStrategy ParallelStrategy
+	// SortParallelThreshold is the input row count at or above which the
+	// auto strategy sorts in parallel. 0 selects the default (32768);
+	// negative disables parallel sorts.
+	SortParallelThreshold int
 }
 
 // ExecContext carries the per-execution state: the transaction, the
@@ -118,8 +136,13 @@ type ExecContext struct {
 	// LockWait bounds how long DML waits for a contended row claim before
 	// aborting with a conflict. Zero preserves immediate aborts.
 	LockWait time.Duration
-	// Parallel tunes the radix join and parallel aggregate merge paths.
+	// Parallel tunes the radix join, parallel aggregate merge, morsel scan,
+	// and parallel sort paths.
 	Parallel ParallelOptions
+	// Estimator, when non-nil, returns cached table statistics for the
+	// parallelism cost gates (nil result = unknown table). It must be cheap:
+	// a cache lookup, never a statistics build.
+	Estimator Estimator
 
 	// subqueryCache memoizes subquery executions by (id, params) so
 	// correlated subqueries re-execute only once per distinct parameter
@@ -160,6 +183,7 @@ func (ctx *ExecContext) child(params []types.Value) *ExecContext {
 		Waits:         ctx.Waits,
 		LockWait:      ctx.LockWait,
 		Parallel:      ctx.Parallel,
+		Estimator:     ctx.Estimator,
 	}
 }
 

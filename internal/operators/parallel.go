@@ -1,0 +1,276 @@
+package operators
+
+import (
+	"time"
+
+	"hyrise/internal/encoding"
+	"hyrise/internal/statistics"
+	"hyrise/internal/storage"
+)
+
+// This file implements the cost gate for morsel-driven intra-operator
+// parallelism (paper §2.9): scans and sorts split their input into morsels —
+// fixed-size runs of consecutive chunks — dispatched as scheduler tasks. The
+// serial-vs-parallel decision is not a fixed row-count switch: the scan gate
+// estimates its output cardinality as rows × selectivity from the
+// statistics histograms, so a highly selective scan over a large table still
+// parallelizes (the rows must be visited either way) while a small or
+// cheaply-pruned input skips the task-dispatch overhead.
+
+// ParallelStrategy selects how an operator chooses between its serial and
+// morsel-parallel execution paths.
+type ParallelStrategy uint8
+
+// Parallel strategies.
+const (
+	// ParallelAuto parallelizes when a multi-worker scheduler is available
+	// and the estimator-based cost model clears the threshold.
+	ParallelAuto ParallelStrategy = iota
+	// ParallelSerial always runs the single-threaded path.
+	ParallelSerial
+	// ParallelForce always runs the morsel-parallel path (under an inline
+	// scheduler the morsel tasks just run sequentially) — tests, benches.
+	ParallelForce
+)
+
+// String names the strategy.
+func (s ParallelStrategy) String() string {
+	switch s {
+	case ParallelSerial:
+		return "serial"
+	case ParallelForce:
+		return "parallel"
+	default:
+		return "auto"
+	}
+}
+
+const (
+	// defaultScanParallelThreshold is the estimated scan cost (rows ×
+	// selectivity, floored — see scanSelectivityFloor) at which the auto
+	// strategy goes parallel.
+	defaultScanParallelThreshold = 16384
+	// defaultSortParallelThreshold is the input row count at which the auto
+	// strategy sorts per-morsel runs in parallel.
+	defaultSortParallelThreshold = 32768
+	// defaultMorselRows is the row budget of one scan morsel: consecutive
+	// chunks are coalesced until the budget fills, so many small chunks
+	// become one task while a large chunk stays its own morsel.
+	defaultMorselRows = 65536
+	// scanSelectivityFloor bounds the selectivity used by the cost model
+	// from below: even a point lookup must visit every row of an unpruned
+	// segment, so per-row scan cost never drops to zero with the estimate.
+	scanSelectivityFloor = 1.0 / 16
+)
+
+// morsel is a run of consecutive chunks scanned by one task.
+type morsel struct {
+	lo, hi int // chunk index range [lo, hi)
+}
+
+// morselRanges coalesces the chunk list into morsels of about targetRows
+// rows. Every chunk lands in exactly one morsel and morsels cover chunks in
+// order, so per-chunk outputs keep their slots and the merged result is
+// bit-for-bit equal to a serial scan.
+func morselRanges(chunks []*storage.Chunk, targetRows int) []morsel {
+	if targetRows <= 0 {
+		targetRows = defaultMorselRows
+	}
+	var out []morsel
+	lo, acc := 0, 0
+	for ci, c := range chunks {
+		acc += c.Size()
+		if acc >= targetRows {
+			out = append(out, morsel{lo: lo, hi: ci + 1})
+			lo, acc = ci+1, 0
+		}
+	}
+	if lo < len(chunks) {
+		out = append(out, morsel{lo: lo, hi: len(chunks)})
+	}
+	return out
+}
+
+// morselTargetRows resolves the configured morsel row budget.
+func (ctx *ExecContext) morselTargetRows() int {
+	if n := ctx.Parallel.ScanMorselRows; n > 0 {
+		return n
+	}
+	return defaultMorselRows
+}
+
+// estimateScanSelectivity estimates the fraction of rows a simple predicate
+// keeps, from the table's cached histograms. Returns 1 (no reduction) when
+// no statistics are available, the predicate is not simple, or the shape is
+// not estimable — the gate then falls back to raw row count, which is the
+// conservative direction (more parallelism, never less correctness).
+func (ctx *ExecContext) estimateScanSelectivity(input *storage.Table, simple *simplePredicate) float64 {
+	if simple == nil || ctx.Estimator == nil {
+		return 1
+	}
+	ts := ctx.Estimator(input)
+	if ts == nil || int(simple.column) >= len(ts.Columns) {
+		return 1
+	}
+	col := simple.column
+	pr := &simple.pred
+	switch pr.Op {
+	case encoding.ScanEq:
+		return ts.EstimateEquals(col, pr.Value)
+	case encoding.ScanNe:
+		return ts.EstimateNotEquals(col, pr.Value)
+	case encoding.ScanLt, encoding.ScanLe:
+		return ts.EstimateRange(col, nil, &pr.Value)
+	case encoding.ScanGt, encoding.ScanGe:
+		return ts.EstimateRange(col, &pr.Value, nil)
+	case encoding.ScanBetween:
+		return ts.EstimateRange(col, &pr.Lo, &pr.Hi)
+	case encoding.ScanIsNull:
+		if cs := ts.Columns[col]; cs != nil {
+			return cs.NullFraction()
+		}
+	case encoding.ScanIsNotNull:
+		if cs := ts.Columns[col]; cs != nil {
+			return 1 - cs.NullFraction()
+		}
+	}
+	return 1
+}
+
+// decideScanParallel is the scan's cost gate: it returns whether to dispatch
+// morsels to the scheduler and the estimated qualifying rows that informed
+// the decision (-1 when no estimate was made because the strategy forced the
+// choice).
+func (ctx *ExecContext) decideScanParallel(input *storage.Table, simple *simplePredicate) (parallel bool, estRows int64) {
+	switch ctx.Parallel.ScanStrategy {
+	case ParallelSerial:
+		return false, -1
+	case ParallelForce:
+		return true, -1
+	}
+	if ctx.Scheduler == nil || ctx.Scheduler.WorkerCount() <= 1 {
+		return false, -1
+	}
+	total := input.RowCount()
+	if total == 0 {
+		return false, 0
+	}
+	threshold := ctx.Parallel.ScanParallelThreshold
+	if threshold == 0 {
+		threshold = defaultScanParallelThreshold
+	}
+	if threshold < 0 {
+		return false, -1
+	}
+	sel := ctx.estimateScanSelectivity(input, simple)
+	estRows = int64(float64(total) * sel)
+	cost := float64(total) * maxFloat(sel, scanSelectivityFloor)
+	return cost >= float64(threshold), estRows
+}
+
+// decideSortParallel is the sort's cost gate: run-splitting only amortizes
+// when the input is large enough to dominate the k-way merge overhead.
+func (ctx *ExecContext) decideSortParallel(totalRows int) bool {
+	switch ctx.Parallel.SortStrategy {
+	case ParallelSerial:
+		return false
+	case ParallelForce:
+		return totalRows > 1
+	}
+	if ctx.Scheduler == nil || ctx.Scheduler.WorkerCount() <= 1 {
+		return false
+	}
+	threshold := ctx.Parallel.SortParallelThreshold
+	if threshold == 0 {
+		threshold = defaultSortParallelThreshold
+	}
+	if threshold < 0 {
+		return false
+	}
+	return totalRows >= threshold
+}
+
+// parallelWorkers returns how many concurrent tasks are worth dispatching
+// (the scheduler's worker count, at least 2 so forced-parallel paths still
+// exercise their split/merge logic under an inline scheduler).
+func (ctx *ExecContext) parallelWorkers() int {
+	w := 1
+	if ctx.Scheduler != nil {
+		w = ctx.Scheduler.WorkerCount()
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// noteScanParallel files a morsel scan's fan-out and wall time into the
+// metrics registry and the trace span, so EXPLAIN ANALYZE shows both the
+// decision and its cost. estRows < 0 means "no estimate" (forced strategy).
+func (ctx *ExecContext) noteScanParallel(op Operator, morsels int, wallNS, estRows int64) {
+	if m := ctx.Metrics; m != nil {
+		m.ScanMorsels.Add(int64(morsels))
+		m.ScanParallelNS.Add(wallNS)
+	}
+	if tr := ctx.Trace; tr != nil {
+		tr.AddOpAttr(op, "morsels", int64(morsels))
+		tr.AddOpAttr(op, "parallel_ns", wallNS)
+		if estRows >= 0 {
+			tr.AddOpAttr(op, "est_rows", estRows)
+		}
+	}
+}
+
+// noteScanSerial records a serial-path decision on the trace (auto strategy
+// chose not to parallelize); metrics stay untouched so scan.morsels counts
+// only real fan-out.
+func (ctx *ExecContext) noteScanSerial(op Operator, estRows int64) {
+	if tr := ctx.Trace; tr != nil {
+		tr.AddOpAttr(op, "morsels", 1)
+		if estRows >= 0 {
+			tr.AddOpAttr(op, "est_rows", estRows)
+		}
+	}
+}
+
+// noteSortParallel files a parallel sort's run count and wall time spent in
+// the parallel phase (run sorting + k-way merge).
+func (ctx *ExecContext) noteSortParallel(op Operator, runs int, wallNS int64) {
+	if m := ctx.Metrics; m != nil {
+		m.SortRuns.Add(int64(runs))
+		m.SortParallelNS.Add(wallNS)
+	}
+	if tr := ctx.Trace; tr != nil {
+		tr.AddOpAttr(op, "sort_runs", int64(runs))
+		tr.AddOpAttr(op, "parallel_ns", wallNS)
+	}
+}
+
+// scanWallClock starts a wall-clock measurement only when someone will read
+// it (metrics or trace attached).
+func (ctx *ExecContext) scanWallClock() time.Time {
+	if ctx.Metrics == nil && ctx.Trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// sinceNS is time.Since tolerating the zero start scanWallClock returns.
+func sinceNS(t0 time.Time) int64 {
+	if t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0).Nanoseconds()
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Estimator is the narrow statistics hook operators use for cost gating:
+// it returns cached table statistics (nil when none have been built yet).
+// Wired by the pipeline to the engine's statistics cache.
+type Estimator func(t *storage.Table) *statistics.TableStatistics

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"hyrise/internal/expression"
 	"hyrise/internal/storage"
@@ -42,50 +43,89 @@ func (op *Sort) Name() string {
 // Inputs implements Operator.
 func (op *Sort) Inputs() []Operator { return []Operator{op.input} }
 
-// Run implements Operator.
+// Run implements Operator. Above the cost gate (decideSortParallel), key
+// materialization runs chunk-parallel, the permutation is split into
+// contiguous runs sorted concurrently, and a k-way merge combines them.
+// Each run covers a contiguous range of ascending global row indices and
+// the merge breaks key ties toward the earlier run, so the merged order is
+// exactly what one stable sort over the whole input produces — parallel and
+// serial outputs are bit-for-bit equal.
 func (op *Sort) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
 	input := inputs[0]
-
-	// Materialize the key vectors for all rows, chunk by chunk.
+	chunks := input.Chunks()
 	total := input.RowCount()
-	rows := make(types.PosList, 0, total)
+	parallel := ctx.decideSortParallel(total)
+
+	// Materialize the key vectors column-major into fixed per-chunk slots
+	// (disjoint ranges, so chunks may fill concurrently).
+	base := make([]int, len(chunks))
+	n := 0
+	for ci, c := range chunks {
+		base[ci] = n
+		n += c.Size()
+	}
+	rows := make(types.PosList, total)
 	keyVals := make([][]types.Value, len(op.Keys)) // column-major
 	for i := range keyVals {
-		keyVals[i] = make([]types.Value, 0, total)
+		keyVals[i] = make([]types.Value, total)
 	}
-	for ci, c := range input.Chunks() {
-		n := c.Size()
-		if n == 0 {
-			continue
+	errs := make([]error, len(chunks))
+	fillChunk := func(ci int, c *storage.Chunk) {
+		cn := c.Size()
+		if cn == 0 {
+			return
 		}
-		// Key materialization honors cancellation at chunk granularity; the
-		// in-memory sort below is not interruptible but operates on already
-		// materialized keys only.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		ec := ctx.evalContext(input, c, n)
+		ec := ctx.evalContext(input, c, cn)
 		for ki, k := range op.Keys {
 			v, err := expression.Evaluate(k.Expr, ec)
 			if err != nil {
-				return nil, err
+				errs[ci] = err
+				return
 			}
-			for row := 0; row < n; row++ {
-				keyVals[ki] = append(keyVals[ki], v.ValueAt(row))
+			dst := keyVals[ki][base[ci] : base[ci]+cn]
+			for row := 0; row < cn; row++ {
+				dst[row] = v.ValueAt(row)
 			}
 		}
-		for o := 0; o < n; o++ {
-			rows = append(rows, types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(o)})
+		for o := 0; o < cn; o++ {
+			rows[base[ci]+o] = types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(o)}
 		}
 	}
 
-	perm := make([]int, len(rows))
-	for i := range perm {
-		perm[i] = i
+	var t0 time.Time
+	if parallel {
+		t0 = ctx.scanWallClock()
+		jobs := make([]func(), len(chunks))
+		for ci, c := range chunks {
+			ci, c := ci, c
+			jobs[ci] = func() { fillChunk(ci, c) }
+		}
+		ctx.runJobs(jobs)
+	} else {
+		// Key materialization honors cancellation at chunk granularity; the
+		// in-memory sort below is not interruptible but operates on already
+		// materialized keys only.
+		for ci, c := range chunks {
+			if ctx.Err() != nil {
+				break
+			}
+			fillChunk(ci, c)
+		}
 	}
-	sort.SliceStable(perm, func(a, b int) bool {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// keyLess orders two global row indices by the sort keys only (no
+	// positional tie-break — stability comes from the algorithms).
+	keyLess := func(a, b int) bool {
 		for ki, k := range op.Keys {
-			va, vb := keyVals[ki][perm[a]], keyVals[ki][perm[b]]
+			va, vb := keyVals[ki][a], keyVals[ki][b]
 			c := compareWithNulls(va, vb)
 			if c != 0 {
 				if k.Desc {
@@ -95,13 +135,133 @@ func (op *Sort) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, 
 			}
 		}
 		return false
-	})
+	}
 
-	sorted := make(types.PosList, len(rows))
+	perm := make([]int, total)
+	for i := range perm {
+		perm[i] = i
+	}
+	if parallel && total > 1 {
+		if err := op.sortParallel(ctx, perm, keyLess); err != nil {
+			return nil, err
+		}
+		ctx.noteSortParallel(op, sortRunCount(total, ctx.parallelWorkers()), sinceNS(t0))
+	} else {
+		sort.SliceStable(perm, func(a, b int) bool { return keyLess(perm[a], perm[b]) })
+	}
+
+	sorted := make(types.PosList, total)
 	for i, p := range perm {
 		sorted[i] = rows[p]
 	}
 	return buildReferenceTable(input, []types.PosList{sorted}, nil), nil
+}
+
+// sortMergeCancelStride is how many merge steps run between cancellation
+// checks.
+const sortMergeCancelStride = 4096
+
+// sortRunCount decides how many runs to split totalRows into (one per
+// scheduler worker, never more runs than rows).
+func sortRunCount(totalRows, workers int) int {
+	if workers > totalRows {
+		return totalRows
+	}
+	return workers
+}
+
+// sortParallel stable-sorts perm (an identity permutation over contiguous
+// global row indices) by splitting it into contiguous runs, sorting them
+// concurrently, and k-way merging the sorted runs. Because the runs
+// partition the index space in ascending order, within-run stability plus
+// an earlier-run-wins tie-break reproduces sort.SliceStable's output.
+func (op *Sort) sortParallel(ctx *ExecContext, perm []int, keyLess func(a, b int) bool) error {
+	total := len(perm)
+	nRuns := sortRunCount(total, ctx.parallelWorkers())
+	runSize := (total + nRuns - 1) / nRuns
+	type runRange struct{ lo, hi int }
+	runs := make([]runRange, 0, nRuns)
+	for lo := 0; lo < total; lo += runSize {
+		runs = append(runs, runRange{lo: lo, hi: min(lo+runSize, total)})
+	}
+
+	jobs := make([]func(), len(runs))
+	for ri, r := range runs {
+		r := r
+		jobs[ri] = func() {
+			seg := perm[r.lo:r.hi]
+			sort.SliceStable(seg, func(a, b int) bool { return keyLess(seg[a], seg[b]) })
+		}
+	}
+	ctx.runJobs(jobs)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// K-way merge via a binary heap of run heads. Ties break toward the
+	// lower run index; runs hold ascending index ranges, so this matches the
+	// stable order.
+	merged := make([]int, 0, total)
+	heads := make([]int, len(runs)) // next unconsumed offset within each run
+	runLess := func(i, j int) bool {
+		a, b := perm[runs[i].lo+heads[i]], perm[runs[j].lo+heads[j]]
+		if keyLess(a, b) {
+			return true
+		}
+		if keyLess(b, a) {
+			return false
+		}
+		return i < j
+	}
+	heap := make([]int, 0, len(runs)) // run ids, min-heap under runLess
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !runLess(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && runLess(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && runLess(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	for ri := range runs {
+		if runs[ri].lo < runs[ri].hi {
+			heap = append(heap, ri)
+			up(len(heap) - 1)
+		}
+	}
+	for len(heap) > 0 {
+		if len(merged)%sortMergeCancelStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		ri := heap[0]
+		merged = append(merged, perm[runs[ri].lo+heads[ri]])
+		heads[ri]++
+		if runs[ri].lo+heads[ri] >= runs[ri].hi {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
+	copy(perm, merged)
+	return nil
 }
 
 // compareWithNulls orders values with SQL NULL placement: NULLs are treated

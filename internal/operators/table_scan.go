@@ -33,7 +33,13 @@ func (op *TableScan) Name() string { return "TableScan(" + op.Predicate.String()
 // Inputs implements Operator.
 func (op *TableScan) Inputs() []Operator { return []Operator{op.input} }
 
-// Run implements Operator.
+// Run implements Operator: the chunk list is split into morsels (runs of
+// consecutive chunks, see morselRanges) and each morsel runs the prune →
+// encoded-scan → typed-scan ladder as one scheduler task. Per-chunk position
+// lists land in fixed slots and merge in chunk order, so the output is
+// bit-for-bit equal to a serial scan. The estimator cost gate
+// (decideScanParallel) picks serial execution when the fan-out would not
+// amortize.
 func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Table, error) {
 	input := inputs[0]
 	chunks := input.Chunks()
@@ -44,46 +50,71 @@ func (op *TableScan) Run(ctx *ExecContext, inputs []*storage.Table) (*storage.Ta
 	cell := ctx.scanStatsCell(input, simple)
 	point := simple != nil && simple.pred.Op.IsPoint()
 
-	jobs := make([]func(), len(chunks))
-	for ci, c := range chunks {
-		ci, c := ci, c
-		jobs[ci] = func() {
-			n := c.Size()
-			if n == 0 {
-				return
-			}
-			if simple != nil && !ctx.DynamicAccess {
-				if matches, enc, kind, ok := scanChunkSpecialized(c, simple); ok {
-					rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), matches)
-					noteScanPath(ctx, kind, enc)
-					if cell != nil {
-						cell.Record(kind, point, int64(n), int64(len(matches)))
-					}
-					return
+	// scanChunk is the per-chunk scan ladder; morsel tasks and the serial
+	// loop share it, so both paths compute identical position lists.
+	scanChunk := func(ci int, c *storage.Chunk) {
+		n := c.Size()
+		if n == 0 {
+			return
+		}
+		if simple != nil && !ctx.DynamicAccess {
+			if matches, enc, kind, ok := scanChunkSpecialized(c, simple); ok {
+				rowsPerChunk[ci] = offsetsToRows(types.ChunkID(ci), matches)
+				noteScanPath(ctx, kind, enc)
+				if cell != nil {
+					cell.Record(kind, point, int64(n), int64(len(matches)))
 				}
-			}
-			// Fallback: vectorized expression evaluation over materialized
-			// columns.
-			ec := ctx.evalContext(input, c, n)
-			countDecodedSegments(ctx, c, ec)
-			keep, err := expression.EvaluateBool(op.Predicate, ec)
-			if err != nil {
-				errs[ci] = err
 				return
-			}
-			var rows types.PosList
-			for o, k := range keep {
-				if k {
-					rows = append(rows, types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(o)})
-				}
-			}
-			rowsPerChunk[ci] = rows
-			if cell != nil {
-				cell.Record(observe.ScanPathFallback, point, int64(n), int64(len(rows)))
 			}
 		}
+		// Fallback: vectorized expression evaluation over materialized
+		// columns.
+		ec := ctx.evalContext(input, c, n)
+		countDecodedSegments(ctx, c, ec)
+		keep, err := expression.EvaluateBool(op.Predicate, ec)
+		if err != nil {
+			errs[ci] = err
+			return
+		}
+		var rows types.PosList
+		for o, k := range keep {
+			if k {
+				rows = append(rows, types.RowID{Chunk: types.ChunkID(ci), Offset: types.ChunkOffset(o)})
+			}
+		}
+		rowsPerChunk[ci] = rows
+		if cell != nil {
+			cell.Record(observe.ScanPathFallback, point, int64(n), int64(len(rows)))
+		}
 	}
-	ctx.runJobs(jobs)
+
+	if parallel, estRows := ctx.decideScanParallel(input, simple); parallel {
+		morsels := morselRanges(chunks, ctx.morselTargetRows())
+		t0 := ctx.scanWallClock()
+		jobs := make([]func(), len(morsels))
+		for mi, m := range morsels {
+			m := m
+			jobs[mi] = func() {
+				for ci := m.lo; ci < m.hi; ci++ {
+					// Chunk-granular cancellation inside a running morsel.
+					if ctx.Err() != nil {
+						return
+					}
+					scanChunk(ci, chunks[ci])
+				}
+			}
+		}
+		ctx.runJobs(jobs)
+		ctx.noteScanParallel(op, len(morsels), sinceNS(t0), estRows)
+	} else {
+		ctx.noteScanSerial(op, estRows)
+		for ci, c := range chunks {
+			if ctx.Err() != nil {
+				break
+			}
+			scanChunk(ci, c)
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

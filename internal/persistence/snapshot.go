@@ -17,12 +17,18 @@ import (
 // whatever physical form they currently have (value, dictionary, run-length,
 // frame-of-reference), so an encoded immutable chunk restores encoded.
 //
+// Version 2 (HYSNAP02, written since PR 10) prefixes every chunk body with
+// its byte length, which lets recovery decode chunks in parallel: the chunk
+// boundaries can be sliced out without decoding any segment. Version 1
+// snapshots (no prefixes, strictly sequential decode) remain readable.
+//
 // MVCC state collapses to two bitmaps per chunk — committed (begin != ∞)
 // and deleted (end != ∞). Restored rows are stamped begin=0 (visible since
 // the beginning of time) or left invisible; WAL replay over the snapshot
 // re-stamps rows whose commits landed after the snapshot cut.
 const (
-	snapMagic = "HYSNAP01"
+	snapMagic   = "HYSNAP01"
+	snapMagicV2 = "HYSNAP02"
 	// SnapshotFileName is the name of the snapshot inside the data directory.
 	SnapshotFileName = "snapshot.db"
 	// WALFileName is the name of the write-ahead log inside the data directory.
@@ -33,7 +39,7 @@ const (
 // with the WAL cut (lsn, lastCID).
 func encodeSnapshot(sm *storage.StorageManager, lsn int64, lastCID types.CommitID) ([]byte, error) {
 	w := &writer{buf: make([]byte, 0, 1<<16)}
-	w.bytes([]byte(snapMagic))
+	w.bytes([]byte(snapMagicV2))
 	w.uvarint(uint64(lsn))
 	w.uvarint(uint64(lastCID))
 
@@ -56,7 +62,7 @@ func encodeSnapshot(sm *storage.StorageManager, lsn int64, lastCID types.CommitI
 		w.string_(views[name])
 	}
 
-	crc := crc32.ChecksumIEEE(w.buf[len(snapMagic):])
+	crc := crc32.ChecksumIEEE(w.buf[len(snapMagicV2):])
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc)
 	return w.buf, nil
 }
@@ -96,43 +102,60 @@ func encodeTable(w *writer, t *storage.Table) error {
 
 	chunks := t.Chunks()
 	w.uvarint(uint64(len(chunks)))
+	cw := &writer{buf: make([]byte, 0, 1<<12)} // scratch, reused per chunk
 	for _, c := range chunks {
-		segs, rows := c.SnapshotSegments()
-		if c.IsImmutable() {
-			w.byte(1)
-		} else {
-			w.byte(0)
+		// Encode the chunk body into the scratch writer first so the v2
+		// format can prefix it with its byte length (what makes parallel
+		// chunk decode possible on restore).
+		cw.buf = cw.buf[:0]
+		if err := encodeChunk(cw, c); err != nil {
+			return err
 		}
-		w.uvarint(uint64(rows))
-		for _, seg := range segs {
-			buf, err := encoding.AppendSegment(w.buf, seg)
-			if err != nil {
-				return err
-			}
-			w.buf = buf
-		}
-		mvcc := c.MvccData()
-		if mvcc == nil {
-			w.byte(0)
-			continue
-		}
-		w.byte(1)
-		committed := make([]bool, rows)
-		deleted := make([]bool, rows)
-		for i := 0; i < rows; i++ {
-			off := types.ChunkOffset(i)
-			committed[i] = mvcc.Begin(off) != types.MaxCommitID
-			deleted[i] = mvcc.End(off) != types.MaxCommitID
-		}
-		w.bitmap(committed)
-		w.bitmap(deleted)
+		w.uvarint(uint64(len(cw.buf)))
+		w.bytes(cw.buf)
 	}
+	return nil
+}
+
+// encodeChunk serializes one chunk body (immutability flag, row count,
+// segments, MVCC bitmaps) — the unit a v2 snapshot length-prefixes.
+func encodeChunk(w *writer, c *storage.Chunk) error {
+	segs, rows := c.SnapshotSegments()
+	if c.IsImmutable() {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+	w.uvarint(uint64(rows))
+	for _, seg := range segs {
+		buf, err := encoding.AppendSegment(w.buf, seg)
+		if err != nil {
+			return err
+		}
+		w.buf = buf
+	}
+	mvcc := c.MvccData()
+	if mvcc == nil {
+		w.byte(0)
+		return nil
+	}
+	w.byte(1)
+	committed := make([]bool, rows)
+	deleted := make([]bool, rows)
+	for i := 0; i < rows; i++ {
+		off := types.ChunkOffset(i)
+		committed[i] = mvcc.Begin(off) != types.MaxCommitID
+		deleted[i] = mvcc.End(off) != types.MaxCommitID
+	}
+	w.bitmap(committed)
+	w.bitmap(deleted)
 	return nil
 }
 
 // readSnapshot loads the snapshot file into the (empty) storage manager and
 // returns the WAL cut it was taken at. A missing file returns (0, 0, nil).
-func readSnapshot(path string, sm *storage.StorageManager) (lsn int64, lastCID types.CommitID, err error) {
+// workers bounds the parallel chunk-decode fan-out (1 = serial).
+func readSnapshot(path string, sm *storage.StorageManager, workers int) (lsn int64, lastCID types.CommitID, err error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -140,7 +163,7 @@ func readSnapshot(path string, sm *storage.StorageManager) (lsn int64, lastCID t
 		}
 		return 0, 0, err
 	}
-	lsn, lastCID, err = DecodeSnapshot(buf, sm)
+	lsn, lastCID, err = DecodeSnapshotWorkers(buf, sm, workers)
 	if err != nil {
 		return 0, 0, fmt.Errorf("persistence: snapshot %s: %w", path, err)
 	}
@@ -150,8 +173,26 @@ func readSnapshot(path string, sm *storage.StorageManager) (lsn int64, lastCID t
 // DecodeSnapshot loads serialized snapshot bytes — a snapshot file's exact
 // contents, or the stream a replication primary ships for bootstrap — into
 // the (empty) storage manager and returns the WAL cut they were taken at.
+// Chunk decode runs with one worker per CPU; use DecodeSnapshotWorkers to
+// control the fan-out.
 func DecodeSnapshot(buf []byte, sm *storage.StorageManager) (lsn int64, lastCID types.CommitID, err error) {
-	if len(buf) < len(snapMagic)+4 || string(buf[:len(snapMagic)]) != snapMagic {
+	return DecodeSnapshotWorkers(buf, sm, 0)
+}
+
+// DecodeSnapshotWorkers is DecodeSnapshot with an explicit worker budget for
+// the parallel chunk decode (0 = one per CPU, <= 1 after resolution = serial).
+// Only v2 snapshots (length-prefixed chunk bodies) decode in parallel; v1
+// images always decode sequentially.
+func DecodeSnapshotWorkers(buf []byte, sm *storage.StorageManager, workers int) (lsn int64, lastCID types.CommitID, err error) {
+	if len(buf) < len(snapMagic)+4 {
+		return 0, 0, fmt.Errorf("not a snapshot image")
+	}
+	v2 := false
+	switch string(buf[:len(snapMagic)]) {
+	case snapMagic:
+	case snapMagicV2:
+		v2 = true
+	default:
 		return 0, 0, fmt.Errorf("not a snapshot image")
 	}
 	body := buf[len(snapMagic) : len(buf)-4]
@@ -159,6 +200,7 @@ func DecodeSnapshot(buf []byte, sm *storage.StorageManager) (lsn int64, lastCID 
 	if crc32.ChecksumIEEE(body) != wantCRC {
 		return 0, 0, fmt.Errorf("snapshot fails CRC check")
 	}
+	workers = resolveRecoveryWorkers(workers)
 
 	r := &reader{buf: body}
 	lsn = int64(r.uvarint())
@@ -169,7 +211,7 @@ func DecodeSnapshot(buf []byte, sm *storage.StorageManager) (lsn int64, lastCID 
 		r.fail("table count exceeds snapshot size")
 	}
 	for i := uint64(0); i < nTables && r.err == nil; i++ {
-		t, err := decodeTable(r)
+		t, err := decodeTable(r, v2, workers)
 		if err != nil {
 			return 0, 0, fmt.Errorf("persistence: snapshot table %d: %w", i, err)
 		}
@@ -200,7 +242,7 @@ func DecodeSnapshot(buf []byte, sm *storage.StorageManager) (lsn int64, lastCID 
 	return lsn, lastCID, nil
 }
 
-func decodeTable(r *reader) (*storage.Table, error) {
+func decodeTable(r *reader, v2 bool, workers int) (*storage.Table, error) {
 	name := r.string_()
 	chunkSize := int(r.uvarint())
 	useMvcc := r.byte_() == 1
@@ -227,65 +269,124 @@ func decodeTable(r *reader) (*storage.Table, error) {
 	if r.err == nil && nChunks > uint64(len(r.buf))+1 {
 		r.fail("chunk count exceeds snapshot size")
 	}
-	for ci := uint64(0); ci < nChunks && r.err == nil; ci++ {
-		immutable := r.byte_() == 1
-		rows := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	if !v2 {
+		// v1: no length prefixes, so chunk boundaries only emerge while
+		// decoding — strictly sequential.
+		for ci := uint64(0); ci < nChunks && r.err == nil; ci++ {
+			chunk, err := decodeChunk(r, defs, chunkSize)
+			if err != nil {
+				return nil, fmt.Errorf("chunk %d: %w", ci, err)
+			}
+			t.AppendChunk(chunk)
+		}
 		if r.err != nil {
 			return nil, r.err
 		}
-		segs := make([]storage.Segment, len(defs))
-		for i := range defs {
-			seg, rest, err := encoding.DecodeSegment(r.buf)
-			if err != nil {
-				return nil, fmt.Errorf("chunk %d column %d: %w", ci, i, err)
-			}
-			if seg.Len() != rows {
-				return nil, fmt.Errorf("chunk %d column %d: segment has %d rows, want %d", ci, i, seg.Len(), rows)
-			}
-			segs[i] = seg
-			r.buf = rest
+		return t, nil
+	}
+
+	// v2: slice out the length-prefixed chunk bodies sequentially (cheap),
+	// decode the bodies in parallel, then append in chunk order so chunk ids
+	// come out identical to a serial restore.
+	bodies := make([][]byte, 0, nChunks)
+	for ci := uint64(0); ci < nChunks && r.err == nil; ci++ {
+		n := r.uvarint()
+		if r.err != nil {
+			break
 		}
-		var mvcc *storage.MvccData
-		hasMvcc := r.byte_() == 1
-		if hasMvcc {
-			committed := r.bitmap()
-			deleted := r.bitmap()
-			if r.err != nil {
-				return nil, r.err
-			}
-			if len(committed) != rows || len(deleted) != rows {
-				// bitmap() returns nil for zero-length maps, which matches
-				// rows == 0; anything else is corruption.
-				if !(rows == 0 && committed == nil && deleted == nil) {
-					return nil, fmt.Errorf("chunk %d: MVCC bitmap length mismatch", ci)
-				}
-			}
-			capacity := rows
-			if !immutable {
-				capacity = chunkSize // mutable tail keeps growing after restore
-			}
-			mvcc = storage.NewMvccData(capacity)
-			for i := 0; i < rows; i++ {
-				off := types.ChunkOffset(i)
-				mvcc.EnsureCapacity(off)
-				if committed[i] {
-					mvcc.SetBegin(off, 0)
-				}
-				if deleted[i] {
-					mvcc.SetEnd(off, 0)
-				}
-			}
+		if n > uint64(len(r.buf)) {
+			r.fail("chunk body exceeds snapshot size")
+			break
 		}
-		chunk := storage.NewChunk(segs, mvcc)
-		if immutable {
-			chunk.Finalize()
-		}
-		t.AppendChunk(chunk)
+		bodies = append(bodies, r.buf[:n])
+		r.buf = r.buf[n:]
 	}
 	if r.err != nil {
 		return nil, r.err
 	}
+	chunks := make([]*storage.Chunk, len(bodies))
+	errs := make([]error, len(bodies))
+	runParallel(len(bodies), workers, func(ci int) {
+		cr := &reader{buf: bodies[ci]}
+		chunk, err := decodeChunk(cr, defs, chunkSize)
+		if err == nil && len(cr.buf) != 0 {
+			err = fmt.Errorf("persistence: corrupt record: %d trailing bytes in chunk body", len(cr.buf))
+		}
+		chunks[ci], errs[ci] = chunk, err
+	})
+	for ci := range bodies {
+		if errs[ci] != nil {
+			return nil, fmt.Errorf("chunk %d: %w", ci, errs[ci])
+		}
+		t.AppendChunk(chunks[ci])
+	}
 	return t, nil
+}
+
+// decodeChunk decodes one chunk body (the unit encodeChunk writes) from r.
+// Both snapshot versions share it; v2 calls it concurrently over disjoint
+// body slices.
+func decodeChunk(r *reader, defs []storage.ColumnDefinition, chunkSize int) (*storage.Chunk, error) {
+	immutable := r.byte_() == 1
+	rows := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	segs := make([]storage.Segment, len(defs))
+	for i := range defs {
+		seg, rest, err := encoding.DecodeSegment(r.buf)
+		if err != nil {
+			return nil, fmt.Errorf("column %d: %w", i, err)
+		}
+		if seg.Len() != rows {
+			return nil, fmt.Errorf("column %d: segment has %d rows, want %d", i, seg.Len(), rows)
+		}
+		segs[i] = seg
+		r.buf = rest
+	}
+	var mvcc *storage.MvccData
+	hasMvcc := r.byte_() == 1
+	if hasMvcc {
+		committed := r.bitmap()
+		deleted := r.bitmap()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if len(committed) != rows || len(deleted) != rows {
+			// bitmap() returns nil for zero-length maps, which matches
+			// rows == 0; anything else is corruption.
+			if !(rows == 0 && committed == nil && deleted == nil) {
+				return nil, fmt.Errorf("MVCC bitmap length mismatch")
+			}
+		}
+		capacity := rows
+		if !immutable {
+			capacity = chunkSize // mutable tail keeps growing after restore
+		}
+		mvcc = storage.NewMvccData(capacity)
+		for i := 0; i < rows; i++ {
+			off := types.ChunkOffset(i)
+			mvcc.EnsureCapacity(off)
+			if committed[i] {
+				mvcc.SetBegin(off, 0)
+			}
+			if deleted[i] {
+				mvcc.SetEnd(off, 0)
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	chunk := storage.NewChunk(segs, mvcc)
+	if immutable {
+		chunk.Finalize()
+	}
+	return chunk, nil
 }
 
 // writeSnapshotFile atomically replaces the snapshot in dir: write to a temp

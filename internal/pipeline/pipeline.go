@@ -104,6 +104,31 @@ type Config struct {
 	// aggregate merge runs hash-sharded in parallel (0 = default 4096,
 	// negative disables the parallel merge).
 	ParallelMergeThreshold int
+	// ScanStrategy selects the table-scan execution path: Auto (morsel-
+	// parallel when the estimator's rows x selectivity cost clears
+	// ScanParallelThreshold and the scheduler has multiple workers), Serial
+	// (always single-threaded), or Force (always morsel-parallel — mainly
+	// for tests and benchmarks). Results are identical either way.
+	ScanStrategy operators.ParallelStrategy
+	// ScanParallelThreshold is the estimated output-row cost (input rows x
+	// predicate selectivity) at which the auto scan strategy goes parallel
+	// (0 = default 16384, negative disables parallel scans under Auto).
+	ScanParallelThreshold int
+	// ScanMorselRows is the target number of rows per scan/partition morsel
+	// (0 = default 65536). Consecutive chunks are coalesced into one morsel
+	// until the budget fills.
+	ScanMorselRows int
+	// SortStrategy selects the sort execution path: Auto (parallel run sort
+	// plus k-way merge above SortParallelThreshold rows), Serial, or Force.
+	// Output order is identical either way.
+	SortStrategy operators.ParallelStrategy
+	// SortParallelThreshold is the input row count at which the auto sort
+	// strategy goes parallel (0 = default 32768, negative disables).
+	SortParallelThreshold int
+	// RecoveryWorkers bounds parallel recovery (snapshot chunk decode and
+	// WAL redo-batch decode; apply stays in commit order). 0 = one worker
+	// per CPU, negative = serial.
+	RecoveryWorkers int
 }
 
 // DefaultConfig enables everything except the scheduler, mirroring the
@@ -228,6 +253,7 @@ func NewEngineErr(cfg Config, sm *storage.StorageManager) (*Engine, error) {
 			Dir:              cfg.DataDir,
 			Mode:             mode,
 			SnapshotInterval: cfg.SnapshotInterval,
+			RecoveryWorkers:  cfg.RecoveryWorkers,
 			Registry:         e.registry,
 		})
 		if err != nil {
@@ -846,7 +872,15 @@ func (s *Session) executePlan(ctx context.Context, plan *cachedPlan, stmt sqlpar
 		JoinStrategy:           engine.cfg.JoinStrategy,
 		JoinPartitions:         engine.cfg.JoinPartitions,
 		ParallelMergeThreshold: engine.cfg.ParallelMergeThreshold,
+		ScanStrategy:           engine.cfg.ScanStrategy,
+		ScanParallelThreshold:  engine.cfg.ScanParallelThreshold,
+		ScanMorselRows:         engine.cfg.ScanMorselRows,
+		SortStrategy:           engine.cfg.SortStrategy,
+		SortParallelThreshold:  engine.cfg.SortParallelThreshold,
 	}
+	// The estimator feeds the scan cost gate. Peek is a pure cache lookup —
+	// never a statistics build — so attaching it costs nothing per query.
+	ectx.Estimator = engine.stats.Peek
 	if tx != nil {
 		tx.SetWaitObserver(engine.waitObserver(s.activeQ, trace))
 	}

@@ -35,8 +35,8 @@ const (
 // the follower's own engine while replay runs; the storage layer's chunk
 // locks and atomic MVCC cells make that safe.
 type Follower struct {
-	sm  *storage.StorageManager
-	tm  *concurrency.TransactionManager
+	sm   *storage.StorageManager
+	tm   *concurrency.TransactionManager
 	dial func() (io.ReadWriteCloser, error)
 
 	applier *persistence.Applier

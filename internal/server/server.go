@@ -121,9 +121,9 @@ func (b *backend) fire() {
 func New(engine *pipeline.Engine) *Server {
 	r := engine.Metrics()
 	return &Server{
-		engine:         engine,
-		conns:          make(map[net.Conn]*connState),
-		backends:       make(map[uint32]*backend),
+		engine:          engine,
+		conns:           make(map[net.Conn]*connState),
+		backends:        make(map[uint32]*backend),
 		connsTotal:      r.Counter("server_connections_total"),
 		connsActive:     r.Gauge("server_connections_active"),
 		connsRejected:   r.Counter("server_connections_rejected"),

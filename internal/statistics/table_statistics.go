@@ -213,6 +213,21 @@ func NewCache(kind HistogramType) *Cache {
 	return &Cache{entries: make(map[*storage.Table]cacheEntry), kind: kind}
 }
 
+// Peek returns the cached statistics of a table without building anything —
+// the executor's parallelism cost gates call this per scan, so it must stay
+// a map lookup. Stale entries (row count drifted since the build) are still
+// returned: a slightly off selectivity only skews a serial-vs-parallel
+// choice, never a result. Returns nil when the optimizer has not built
+// statistics for the table yet.
+func (c *Cache) Peek(t *storage.Table) *TableStatistics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[t]; ok {
+		return e.stats
+	}
+	return nil
+}
+
 // Get returns (building if needed) the statistics of a table.
 func (c *Cache) Get(t *storage.Table) *TableStatistics {
 	c.mu.Lock()
